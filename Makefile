@@ -1,0 +1,36 @@
+# Standard targets for the flatnet reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figs quickfigs fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table and figure at full scale (tens of minutes).
+figs:
+	$(GO) run ./cmd/paperfigs -out results
+
+# Reduced-scale smoke regeneration (~1 minute).
+quickfigs:
+	$(GO) run ./cmd/paperfigs -quick -out results
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s ./internal/sim/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,82 @@
+// Command costmodel prints the paper's §4 cost comparison and §5.3 power
+// comparison for a set of network sizes, plus the fixed-N dimensionality
+// study of Fig. 13.
+//
+// Examples:
+//
+//	costmodel                       # the standard sweep
+//	costmodel -sizes 1024,4096
+//	costmodel -fixedn 4096          # Fig 13: cost vs dimensionality
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flatnet"
+)
+
+func main() {
+	sizes := flag.String("sizes", "512,1024,2048,4096,8192,16384,32768,65536", "comma-separated node counts")
+	fixedN := flag.Int("fixedn", 0, "run the Fig 13 fixed-N dimensionality study at this size instead")
+	flag.Parse()
+
+	if err := run(*sizes, *fixedN); err != nil {
+		fmt.Fprintln(os.Stderr, "costmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sizesCSV string, fixedN int) error {
+	cm, pm, pk := flatnet.DefaultCostModel(), flatnet.DefaultPowerModel(), flatnet.DefaultPackaging()
+	if fixedN > 0 {
+		cfgs := flatnet.ConfigsForN(fixedN)
+		if len(cfgs) == 0 {
+			return fmt.Errorf("no flattened-butterfly configurations for N=%d", fixedN)
+		}
+		fmt.Printf("Fig 13: N=%d flattened butterflies as dimensionality increases\n", fixedN)
+		fmt.Printf("%-4s %-4s %-7s %-14s %-14s\n", "n'", "k", "k'", "$/node", "avg cable (m)")
+		for _, c := range cfgs {
+			b := flatnet.FlatFlyBOMForConfig(fixedN, c.K, c.NPrime, pk)
+			br := flatnet.PriceBOM(b, cm, pk)
+			fmt.Printf("%-4d %-4d %-7d %-14.1f %-14.2f\n", c.NPrime, c.K, c.KPrime, br.TotalPerNode, br.AvgCableLength)
+		}
+		return nil
+	}
+
+	var sizes []int
+	for _, s := range strings.Split(sizesCSV, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad size %q: %w", s, err)
+		}
+		sizes = append(sizes, v)
+	}
+	costs, err := flatnet.CostSweep(sizes, cm, pk)
+	if err != nil {
+		return err
+	}
+	powers, err := flatnet.PowerSweep(sizes, pm, pk)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Cost per node ($), Fig 11:")
+	fmt.Printf("%-8s %-10s %-12s %-11s %-11s %-8s\n", "N", "flatfly", "folded-clos", "butterfly", "hypercube", "savings")
+	for _, r := range costs {
+		fmt.Printf("%-8d %-10.1f %-12.1f %-11.1f %-11.1f %.1f%%\n",
+			r.N, r.FlatFly.TotalPerNode, r.FoldedClos.TotalPerNode,
+			r.Butterfly.TotalPerNode, r.Hypercube.TotalPerNode, 100*r.SavingsVsClos())
+	}
+	fmt.Println()
+	fmt.Println("Power per node (W), Fig 15:")
+	fmt.Printf("%-8s %-10s %-12s %-11s %-11s %-8s\n", "N", "flatfly", "folded-clos", "butterfly", "hypercube", "savings")
+	for _, r := range powers {
+		fmt.Printf("%-8d %-10.2f %-12.2f %-11.2f %-11.2f %.1f%%\n",
+			r.N, r.FlatFly.TotalPerNode, r.FoldedClos.TotalPerNode,
+			r.Butterfly.TotalPerNode, r.Hypercube.TotalPerNode, 100*r.SavingsVsClos())
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSweep(t *testing.T) {
+	if err := run("1024,4096", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFixedN(t *testing.T) {
+	if err := run("", 4096); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("abc", 0); err == nil {
+		t.Error("bad size list accepted")
+	}
+	if err := run("", 17); err == nil {
+		t.Error("size with no configurations accepted")
+	}
+	if err := run("1099511627776", 0); err == nil {
+		t.Error("impossible size accepted")
+	}
+}

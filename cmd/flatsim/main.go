@@ -1,0 +1,214 @@
+// Command flatsim runs one cycle-accurate simulation: a topology, a
+// routing algorithm, a traffic pattern and an offered load (or a load
+// sweep), printing latency and throughput.
+//
+// Examples:
+//
+//	flatsim -topo ff -k 32 -n 2 -alg clos -pattern worstcase -load 0.45
+//	flatsim -topo ff -k 16 -n 2 -alg ugal -pattern uniform -sweep
+//	flatsim -topo hypercube -dims 10 -pattern uniform -load 0.8
+//	flatsim -topo clos -k 32 -taper 2 -pattern worstcase -load 0.4
+//	flatsim -topo butterfly -k 32 -n 2 -pattern uniform -load 0.9
+//	flatsim -topo ff -k 32 -n 2 -alg ugal-s -pattern worstcase -batch 16
+//	flatsim -topo ff -k 32 -n 2 -alg clos -window 4            # request-reply
+//	flatsim -topo ff -k 16 -n 2 -trace run.trace               # replay a trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flatnet"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "ff", "topology: ff | butterfly | clos | hypercube")
+		k        = flag.Int("k", 32, "ary (terminals per router for ff/clos groups)")
+		n        = flag.Int("n", 2, "stages (ff/butterfly: network has k^n nodes)")
+		dims     = flag.Int("dims", 10, "hypercube dimensions")
+		taper    = flag.Int("taper", 2, "folded-Clos taper (terminals/uplinks ratio)")
+		algName  = flag.String("alg", "clos", "ff algorithm: min | val | ugal | ugal-s | clos")
+		pattern  = flag.String("pattern", "uniform", "traffic: uniform | worstcase | bitcomp | tornado")
+		load     = flag.Float64("load", 0.5, "offered load (fraction of capacity)")
+		sweep    = flag.Bool("sweep", false, "sweep loads 0.1..0.95 instead of one point")
+		batch    = flag.Int("batch", 0, "run a batch experiment of this size instead of open-loop")
+		trace    = flag.String("trace", "", "replay a text trace file (cycle src dst per line) instead of synthetic traffic")
+		window   = flag.Int("window", 0, "run a closed-loop request-reply workload with this many outstanding requests per node")
+		warmup   = flag.Int("warmup", 1000, "warm-up cycles")
+		measure  = flag.Int("measure", 1000, "measurement cycles")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		buf      = flag.Int("buf", 32, "flit buffers per port")
+	)
+	flag.Parse()
+
+	if err := run(*topoName, *k, *n, *dims, *taper, *algName, *pattern, *trace,
+		*load, *sweep, *batch, *window, *warmup, *measure, *seed, *buf); err != nil {
+		fmt.Fprintln(os.Stderr, "flatsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoName string, k, n, dims, taper int, algName, patternName, traceFile string,
+	load float64, sweep bool, batch, window, warmup, measure int, seed uint64, buf int) error {
+
+	var (
+		g     *flatnet.Graph
+		alg   flatnet.Algorithm
+		nodes int
+		conc  int // concentration for group patterns
+		err   error
+	)
+	switch topoName {
+	case "ff":
+		ff, e := flatnet.NewFlatFly(k, n)
+		if e != nil {
+			return e
+		}
+		alg, err = flatnet.NewFlatFlyAlgorithm(algName, ff)
+		if err != nil {
+			return err
+		}
+		g, nodes, conc = ff.Graph(), ff.NumNodes, ff.K
+		fmt.Printf("topology: %s (N=%d, routers=%d, radix k'=%d), routing: %s\n",
+			ff.Name(), ff.NumNodes, ff.NumRouters, ff.Radix, alg.Name())
+	case "butterfly":
+		b, e := flatnet.NewButterfly(k, n)
+		if e != nil {
+			return e
+		}
+		alg = flatnet.NewButterflyDest(b)
+		g, nodes, conc = b.Graph(), b.NumNodes, b.K
+		fmt.Printf("topology: %s (N=%d), routing: destination-based\n", b.Name(), b.NumNodes)
+	case "clos":
+		if taper < 1 {
+			return fmt.Errorf("taper must be >= 1")
+		}
+		fc, e := flatnet.NewFoldedClos(k, k/taper, k, max(1, k/(2*taper)))
+		if e != nil {
+			return e
+		}
+		alg = flatnet.NewFoldedClosAdaptive(fc)
+		g, nodes, conc = fc.Graph(), fc.NumNodes, fc.Terminals
+		fmt.Printf("topology: %s (N=%d), routing: adaptive sequential\n", fc.Name(), fc.NumNodes)
+	case "hypercube":
+		h, e := flatnet.NewHypercube(dims)
+		if e != nil {
+			return e
+		}
+		alg = flatnet.NewECube(h)
+		g, nodes, conc = h.Graph(), h.NumNodes, 1
+		fmt.Printf("topology: %s (N=%d), routing: e-cube\n", h.Name(), h.NumNodes)
+	default:
+		return fmt.Errorf("unknown topology %q", topoName)
+	}
+
+	var p flatnet.Pattern
+	switch patternName {
+	case "uniform":
+		p = flatnet.NewUniform(nodes)
+	case "worstcase":
+		if conc < 1 {
+			conc = 1
+		}
+		p = flatnet.NewWorstCase(conc, nodes/conc)
+	case "bitcomp":
+		p = flatnet.NewBitComplement(nodes)
+	case "tornado":
+		p = flatnet.NewTornado(conc, nodes/conc)
+	default:
+		return fmt.Errorf("unknown pattern %q", patternName)
+	}
+
+	cfg := flatnet.Config{Seed: seed, BufPerPort: buf}
+
+	if traceFile != "" {
+		return runTrace(g, alg, cfg, traceFile)
+	}
+
+	if window > 0 {
+		res, err := flatnet.RunClosedLoop(g, alg, cfg, flatnet.ClosedLoopConfig{
+			Window: window, Pattern: p, Warmup: warmup, Measure: measure,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("closed loop, window %d: avg round trip %.2f cycles (p99 %d), %.4f requests/node/cycle\n",
+			window, res.AvgRoundTrip, res.P99RoundTrip, res.RequestRate)
+		return nil
+	}
+
+	if batch > 0 {
+		res, err := flatnet.RunBatch(g, alg, cfg, p, batch, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("batch %d per node: completed in %d cycles (normalized latency %.2f)\n",
+			res.BatchSize, res.CompletionCycles, res.NormalizedLatency)
+		return nil
+	}
+
+	loads := []float64{load}
+	if sweep {
+		loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+	}
+	rc := flatnet.RunConfig{Pattern: p, Warmup: warmup, Measure: measure}
+	results, err := flatnet.LoadSweep(g, alg, cfg, rc, loads)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s  %-12s  %-8s  %-10s  %s\n", "load", "avg latency", "p99", "accepted", "status")
+	for _, r := range results {
+		status := "ok"
+		if r.Saturated {
+			status = "saturated"
+		}
+		fmt.Printf("%-6.2f  %-12.2f  %-8d  %-10.3f  %s\n",
+			r.Load, r.AvgLatency, r.P99Latency, r.AcceptedRate, status)
+	}
+	return nil
+}
+
+// runTrace replays a recorded trace to completion and reports latency.
+func runTrace(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entries, err := flatnet.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	n, err := flatnet.NewNetwork(g, alg, cfg)
+	if err != nil {
+		return err
+	}
+	var latSum float64
+	var delivered int64
+	n.OnDeliver(func(p *flatnet.Packet, cycle int64) {
+		latSum += float64(cycle - p.InjectCycle)
+		delivered++
+	})
+	if err := n.LoadTrace(entries); err != nil {
+		return err
+	}
+	limit := int64(len(entries))*100 + 10000
+	for delivered < int64(len(entries)) && n.Cycle() < limit {
+		n.Step()
+	}
+	if delivered < int64(len(entries)) {
+		return fmt.Errorf("trace did not complete: %d/%d delivered by cycle %d", delivered, len(entries), n.Cycle())
+	}
+	fmt.Printf("replayed %d packets in %d cycles; avg latency %.2f cycles\n",
+		delivered, n.Cycle(), latSum/float64(delivered))
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunOpenLoop(t *testing.T) {
+	for _, topo := range []string{"ff", "butterfly", "clos", "hypercube"} {
+		if err := run(topo, 8, 2, 6, 2, "clos", "uniform", "",
+			0.2, false, 0, 0, 200, 200, 1, 32); err != nil {
+			t.Errorf("%s: %v", topo, err)
+		}
+	}
+}
+
+func TestRunSweepAndBatch(t *testing.T) {
+	if err := run("ff", 4, 2, 6, 2, "ugal-s", "worstcase", "",
+		0, true, 0, 0, 100, 100, 1, 32); err != nil {
+		t.Errorf("sweep: %v", err)
+	}
+	if err := run("ff", 4, 2, 6, 2, "clos", "worstcase", "",
+		0, false, 4, 0, 100, 100, 1, 32); err != nil {
+		t.Errorf("batch: %v", err)
+	}
+}
+
+func TestRunPatterns(t *testing.T) {
+	for _, p := range []string{"uniform", "worstcase", "bitcomp", "tornado"} {
+		if err := run("ff", 4, 2, 6, 2, "min", p, "", 0.1, false, 0, 0, 100, 100, 1, 32); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 8, 2, 6, 2, "clos", "uniform", "", 0.2, false, 0, 0, 100, 100, 1, 32); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run("ff", 8, 2, 6, 2, "bogus", "uniform", "", 0.2, false, 0, 0, 100, 100, 1, 32); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run("ff", 8, 2, 6, 2, "clos", "bogus", "", 0.2, false, 0, 0, 100, 100, 1, 32); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if err := run("clos", 8, 2, 6, 0, "clos", "uniform", "", 0.2, false, 0, 0, 100, 100, 1, 32); err == nil {
+		t.Error("zero taper accepted")
+	}
+}
+
+func TestRunTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	if err := os.WriteFile(path, []byte("# test\n0 0 15\n1 3 8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("ff", 4, 2, 6, 2, "clos", "uniform", path, 0, false, 0, 0, 100, 100, 1, 32); err != nil {
+		t.Errorf("trace replay: %v", err)
+	}
+	if err := run("ff", 4, 2, 6, 2, "clos", "uniform", filepath.Join(dir, "missing"), 0, false, 0, 0, 100, 100, 1, 32); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	if err := run("ff", 4, 2, 6, 2, "clos", "uniform", "",
+		0, false, 0, 2, 200, 400, 1, 32); err != nil {
+		t.Errorf("closed loop: %v", err)
+	}
+}

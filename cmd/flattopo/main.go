@@ -1,0 +1,106 @@
+// Command flattopo inspects a topology: prints its parameters, channel
+// census and hop-count profile, or emits the router graph as Graphviz DOT.
+//
+// Examples:
+//
+//	flattopo -topo ff -k 8 -n 2
+//	flattopo -topo ff -k 4 -n 3 -dot > ff.dot
+//	flattopo -topo hypercube -dims 6
+//	flattopo -topo torus -k 4 -n 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flatnet"
+	"flatnet/internal/topo"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "ff", "topology: ff | butterfly | clos | hypercube | torus | ghc")
+		k        = flag.Int("k", 8, "ary")
+		n        = flag.Int("n", 2, "stages / dimensions+1")
+		dims     = flag.Int("dims", 6, "hypercube dimensions")
+		taper    = flag.Int("taper", 2, "folded-Clos taper")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of a summary")
+	)
+	flag.Parse()
+	if err := run(*topoName, *k, *n, *dims, *taper, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "flattopo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoName string, k, n, dims, taper int, dot bool) error {
+	var t flatnet.Topology
+	switch topoName {
+	case "ff":
+		ff, err := flatnet.NewFlatFly(k, n)
+		if err != nil {
+			return err
+		}
+		t = ff
+	case "butterfly":
+		b, err := flatnet.NewButterfly(k, n)
+		if err != nil {
+			return err
+		}
+		t = b
+	case "clos":
+		fc, err := flatnet.NewFoldedClos(k, k/taper, k, maxInt(1, k/(2*taper)))
+		if err != nil {
+			return err
+		}
+		t = fc
+	case "hypercube":
+		h, err := flatnet.NewHypercube(dims)
+		if err != nil {
+			return err
+		}
+		t = h
+	case "torus":
+		tr, err := flatnet.NewTorus(k, n)
+		if err != nil {
+			return err
+		}
+		t = tr
+	case "ghc":
+		g, err := flatnet.NewGHC([]int{k, k})
+		if err != nil {
+			return err
+		}
+		t = g
+	default:
+		return fmt.Errorf("unknown topology %q", topoName)
+	}
+	g := t.Graph()
+	if dot {
+		return topo.WriteDOT(os.Stdout, g)
+	}
+	fmt.Printf("topology:   %s\n", t.Name())
+	fmt.Printf("nodes:      %d\n", g.NumNodes)
+	fmt.Printf("routers:    %d\n", g.NumRouters())
+	fmt.Printf("channels:   %d unidirectional\n", g.CountChannels())
+	maxDeg := 0
+	for r := 0; r < g.NumRouters(); r++ {
+		if d := g.Degree(flatnet.RouterID(r)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	fmt.Printf("max degree: %d ports\n", maxDeg)
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("graph INVALID: %w", err)
+	}
+	fmt.Println("graph:      valid")
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

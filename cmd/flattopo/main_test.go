@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunSummary(t *testing.T) {
+	for _, topo := range []string{"ff", "butterfly", "clos", "hypercube", "torus", "ghc"} {
+		if err := run(topo, 4, 2, 4, 2, false); err != nil {
+			t.Errorf("%s: %v", topo, err)
+		}
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	if err := run("ff", 4, 2, 4, 2, true); err != nil {
+		t.Errorf("dot: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 4, 2, 4, 2, false); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run("ff", 1, 2, 4, 2, false); err == nil {
+		t.Error("invalid parameters accepted")
+	}
+}

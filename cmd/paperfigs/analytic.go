@@ -1,0 +1,235 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"flatnet"
+)
+
+// fig2 emits the network-size scalability curves: N as a function of
+// switch radix k' for n' in {1, 2, 3, 4}.
+func fig2(w *os.File, _ bool) error {
+	fmt.Fprintln(w, "# Fig 2: network size N vs switch radix k' for dimensions n'")
+	fmt.Fprintln(w, "kprime\tnp1\tnp2\tnp3\tnp4")
+	for kp := 4; kp <= 256; kp += 4 {
+		fmt.Fprintf(w, "%d", kp)
+		for np := 1; np <= 4; np++ {
+			fmt.Fprintf(w, "\t%.0f", flatnet.NetworkSize(float64(kp), np))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// fig3 emits the §2.3 comparison behind Figure 3: the cost of a 1K-node
+// generalized hypercube — one terminal per router, full-bandwidth
+// inter-router channels — against the flattened butterfly, whose k-way
+// concentration cuts cost by roughly a factor of k.
+func fig3(w *os.File, _ bool) error {
+	m, p := flatnet.DefaultCostModel(), flatnet.DefaultPackaging()
+	ffBOM, err := flatnet.FlatFlyBOM(1024, p)
+	if err != nil {
+		return err
+	}
+	fb := flatnet.PriceBOM(ffBOM, m, p)
+	ghc := flatnet.PriceBOM(flatnet.GHCBOM(1024, []int{8, 8, 16}, p), m, p)
+	fmt.Fprintln(w, "# Fig 3 / §2.3: flattened butterfly vs (8,8,16) generalized hypercube at N=1024")
+	fmt.Fprintln(w, "network\tchannels_per_node\tcost_per_node")
+	fmt.Fprintf(w, "flattened butterfly (k=32, n'=1)\t%.2f\t$%.1f\n", 31.0/32, fb.TotalPerNode)
+	fmt.Fprintf(w, "generalized hypercube (8,8,16)\t%d\t$%.1f\n", 29, ghc.TotalPerNode)
+	fmt.Fprintf(w, "# concentration advantage: %.1fx\n", ghc.TotalPerNode/fb.TotalPerNode)
+	return nil
+}
+
+// table1 emits the §3.3 topology/routing configuration.
+func table1(w *os.File, _ bool) error {
+	fmt.Fprintln(w, "# Table 1: topology and routing used in the performance comparison")
+	fmt.Fprintln(w, "topology\trouting\tVCs")
+	fmt.Fprintln(w, "flattened butterfly\tCLOS AD\t2")
+	fmt.Fprintln(w, "conventional butterfly\tdestination-based\t1")
+	fmt.Fprintln(w, "folded Clos\tadaptive sequential\t1")
+	fmt.Fprintln(w, "hypercube\te-cube\t1")
+	return nil
+}
+
+// table2 emits the cost-model constants.
+func table2(w *os.File, _ bool) error {
+	m := flatnet.DefaultCostModel()
+	fmt.Fprintln(w, "# Table 2: cost breakdown of an interconnection network")
+	fmt.Fprintln(w, "component\tcost")
+	fmt.Fprintf(w, "router\t$%.0f\n", m.RouterChip+m.RouterDev)
+	fmt.Fprintf(w, "router chip\t$%.0f\n", m.RouterChip)
+	fmt.Fprintf(w, "development (amortized)\t$%.0f\n", m.RouterDev)
+	fmt.Fprintf(w, "backplane link ($/signal)\t$%.2f\n", m.BackplanePerSignal)
+	fmt.Fprintf(w, "electrical cable ($/signal)\t$%.2f + $%.2f/m\n", m.CableOverheadPerSignal, m.CablePerMeterPerSignal)
+	fmt.Fprintf(w, "optical link ($/signal)\t$%.2f\n", m.OpticalPerSignal)
+	fmt.Fprintf(w, "repeater spacing\t%.0f m\n", m.RepeaterSpacing)
+	return nil
+}
+
+// table3 emits the packaging assumptions.
+func table3(w *os.File, _ bool) error {
+	p := flatnet.DefaultPackaging()
+	fmt.Fprintln(w, "# Table 3: technology and packaging assumptions")
+	fmt.Fprintln(w, "parameter\tvalue")
+	fmt.Fprintf(w, "radix\t%d\n", p.Radix)
+	fmt.Fprintf(w, "pairs per port\t%d\n", p.SignalsPerPort)
+	fmt.Fprintf(w, "nodes per cabinet\t%d\n", p.NodesPerCabinet)
+	fmt.Fprintf(w, "density (nodes/m^2)\t%.0f\n", p.Density)
+	fmt.Fprintf(w, "cable overhead\t%.0f m\n", p.CableOverhead)
+	return nil
+}
+
+// table4 emits the (k, n) configurations of a 4K-node network.
+func table4(w *os.File, _ bool) error {
+	fmt.Fprintln(w, "# Table 4: flattened-butterfly configurations for N = 4K")
+	fmt.Fprintln(w, "k\tn\tkprime\tnprime")
+	for _, c := range flatnet.ConfigsForN(4096) {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\n", c.K, c.N, c.KPrime, c.NPrime)
+	}
+	return nil
+}
+
+// table5 emits the power-model constants.
+func table5(w *os.File, _ bool) error {
+	m := flatnet.DefaultPowerModel()
+	fmt.Fprintln(w, "# Table 5: power consumption of router components")
+	fmt.Fprintln(w, "component\tpower")
+	fmt.Fprintf(w, "P_switch\t%.0f W\n", m.SwitchW)
+	fmt.Fprintf(w, "P_link_gg\t%.0f mW\n", m.LinkGlobalW*1000)
+	fmt.Fprintf(w, "P_link_gl\t%.0f mW\n", m.LinkGlobalLocalW*1000)
+	fmt.Fprintf(w, "P_link_ll\t%.0f mW\n", m.LinkLocalW*1000)
+	return nil
+}
+
+// fig7 emits the cable cost curve with the repeater step.
+func fig7(w *os.File, _ bool) error {
+	m := flatnet.DefaultCostModel()
+	fmt.Fprintln(w, "# Fig 7: cable cost per signal vs length (electrical, with repeaters past 6 m)")
+	fmt.Fprintln(w, "length_m\tcost_per_signal")
+	for l := 0.5; l <= 20.01; l += 0.5 {
+		fmt.Fprintf(w, "%.1f\t%.2f\n", l, m.CableCostPerSignal(l))
+	}
+	return nil
+}
+
+// fig89 emits the measured packaging study behind Figs 8-9 and §5.2: a
+// 1024-node flattened butterfly and folded Clos placed into cabinets on a
+// simulated machine-room floor, with actual Manhattan cable lengths and
+// the local-traffic wire-delay comparison.
+func fig89(w *os.File, _ bool) error {
+	p := flatnet.DefaultPackaging()
+	ff, err := flatnet.NewFlatFly(32, 2)
+	if err != nil {
+		return err
+	}
+	fc, err := flatnet.NewFoldedClos(32, 16, 32, 8)
+	if err != nil {
+		return err
+	}
+	hc, err := flatnet.NewHypercube(10)
+	if err != nil {
+		return err
+	}
+	plFF, err := flatnet.PlaceFlatFly(ff, p)
+	if err != nil {
+		return err
+	}
+	plFC, err := flatnet.PlaceFoldedClos(fc, p)
+	if err != nil {
+		return err
+	}
+	plHC, err := flatnet.PlaceHypercube(hc, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Figs 8-9: measured cabinet packaging at N=1024 (Manhattan cable lengths)")
+	fmt.Fprintln(w, "topology\tchannels\tbackplane\tcables\tavg_m\tmax_m")
+	for _, row := range []struct {
+		name string
+		st   flatnet.CableStats
+	}{
+		{ff.Name(), plFF.Stats()},
+		{fc.Name(), plFC.Stats()},
+		{hc.Name(), plHC.Stats()},
+	} {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.2f\t%.2f\n",
+			row.name, row.st.Channels, row.st.Backplane, row.st.Cables, row.st.AvgLength, row.st.MaxLength)
+	}
+	cmp, err := flatnet.CompareWireDelay(ff, fc, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# §5.2 wire delay, local (worst-case) traffic: FB %.2f m direct vs folded Clos %.2f m via middle cabinets (%.2fx)\n",
+		cmp.FlatFlyAvgMeters, cmp.FoldedClosAvgMeters, cmp.Ratio)
+	return nil
+}
+
+// costSizes is the N sweep used for Figs 10, 11 and 15.
+var costSizes = []int{512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// fig10 emits the link-cost fraction and average global cable length.
+func fig10(w *os.File, _ bool) error {
+	m, p := flatnet.DefaultCostModel(), flatnet.DefaultPackaging()
+	rows, err := flatnet.CostSweep(costSizes, m, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Fig 10a: link cost / total cost; Fig 10b: average global cable length (m, overhead excluded)")
+	fmt.Fprintln(w, "N\tlinkfrac_fb\tlinkfrac_clos\tlinkfrac_bfly\tlinkfrac_hcube\tlavg_fb\tlavg_clos\tlavg_bfly\tlavg_hcube")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.N,
+			r.FlatFly.LinkFraction, r.FoldedClos.LinkFraction, r.Butterfly.LinkFraction, r.Hypercube.LinkFraction,
+			r.FlatFly.AvgCableLength, r.FoldedClos.AvgCableLength, r.Butterfly.AvgCableLength, r.Hypercube.AvgCableLength)
+	}
+	return nil
+}
+
+// fig11 emits cost per node for the four topologies.
+func fig11(w *os.File, _ bool) error {
+	m, p := flatnet.DefaultCostModel(), flatnet.DefaultPackaging()
+	rows, err := flatnet.CostSweep(costSizes, m, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Fig 11: cost per node ($) vs network size")
+	fmt.Fprintln(w, "N\tflatfly\tfolded_clos\tbutterfly\thypercube\tfb_savings_vs_clos")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f%%\n",
+			r.N, r.FlatFly.TotalPerNode, r.FoldedClos.TotalPerNode,
+			r.Butterfly.TotalPerNode, r.Hypercube.TotalPerNode, 100*r.SavingsVsClos())
+	}
+	return nil
+}
+
+// fig13 emits the cost of the Table 4 configurations of a 4K network.
+func fig13(w *os.File, _ bool) error {
+	m, p := flatnet.DefaultCostModel(), flatnet.DefaultPackaging()
+	fmt.Fprintln(w, "# Fig 13: cost per node of N=4K flattened butterflies vs dimensionality")
+	fmt.Fprintln(w, "nprime\tk\tcost_per_node\tavg_cable_m")
+	for _, c := range flatnet.ConfigsForN(4096) {
+		b := flatnet.FlatFlyBOMForConfig(4096, c.K, c.NPrime, p)
+		br := flatnet.PriceBOM(b, m, p)
+		fmt.Fprintf(w, "%d\t%d\t%.1f\t%.2f\n", c.NPrime, c.K, br.TotalPerNode, br.AvgCableLength)
+	}
+	return nil
+}
+
+// fig15 emits power per node for the four topologies.
+func fig15(w *os.File, _ bool) error {
+	m, p := flatnet.DefaultPowerModel(), flatnet.DefaultPackaging()
+	rows, err := flatnet.PowerSweep(costSizes, m, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Fig 15: power per node (W) vs network size")
+	fmt.Fprintln(w, "N\tflatfly\tfolded_clos\tbutterfly\thypercube\tfb_savings_vs_clos")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f%%\n",
+			r.N, r.FlatFly.TotalPerNode, r.FoldedClos.TotalPerNode,
+			r.Butterfly.TotalPerNode, r.Hypercube.TotalPerNode, 100*r.SavingsVsClos())
+	}
+	return nil
+}

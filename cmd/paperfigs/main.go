@@ -1,0 +1,102 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation and writes the data series to text files.
+//
+// Usage:
+//
+//	paperfigs [-fig all|2|t1|t2|t3|t4|t5|4a|4b|5|6a|6b|7|10|11|12a|12b|13|14|15] [-out results] [-quick]
+//
+// Analytic figures (2, 7, 10, 11, 13, 15 and the tables) are exact and
+// cheap. Simulation figures (4, 5, 6, 12) run the cycle-accurate
+// simulator; -quick substitutes a reduced-scale network for a fast smoke
+// run. Output columns are tab-separated with a header row.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure/table id to regenerate, or 'all'")
+	out := flag.String("out", "results", "output directory")
+	quick := flag.Bool("quick", false, "reduced-scale smoke run for simulation figures")
+	flag.Parse()
+
+	if err := run(*fig, *out, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+// figures maps figure ids to generator functions.
+var figures = map[string]func(w *os.File, quick bool) error{
+	"2":   fig2,
+	"3":   fig3,
+	"t1":  table1,
+	"t2":  table2,
+	"t3":  table3,
+	"t4":  table4,
+	"t5":  table5,
+	"4a":  func(w *os.File, q bool) error { return fig4(w, q, "UR") },
+	"4b":  func(w *os.File, q bool) error { return fig4(w, q, "WC") },
+	"5":   fig5,
+	"6a":  func(w *os.File, q bool) error { return fig6(w, q, "UR") },
+	"6b":  func(w *os.File, q bool) error { return fig6(w, q, "WC") },
+	"7":   fig7,
+	"89":  fig89,
+	"10":  fig10,
+	"11":  fig11,
+	"12a": func(w *os.File, q bool) error { return fig12(w, q, "VAL") },
+	"12b": func(w *os.File, q bool) error { return fig12(w, q, "MIN AD") },
+	"13":  fig13,
+	"14":  fig14,
+	"15":  fig15,
+}
+
+// order lists figure ids in paper order for -fig all.
+var order = []string{
+	"2", "3", "t1", "4a", "4b", "5", "6a", "6b", "t2", "7", "t3", "89", "10",
+	"11", "t4", "12a", "12b", "13", "14", "t5", "15",
+}
+
+func run(fig, outDir string, quick bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	ids := []string{fig}
+	if fig == "all" {
+		ids = order
+	}
+	for _, id := range ids {
+		gen, ok := figures[id]
+		if !ok {
+			known := make([]string, 0, len(figures))
+			for k := range figures {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return fmt.Errorf("unknown figure %q (known: %s)", id, strings.Join(known, " "))
+		}
+		name := filepath.Join(outDir, "fig"+id+".txt")
+		if strings.HasPrefix(id, "t") {
+			name = filepath.Join(outDir, "table"+id[1:]+".txt")
+		}
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "generating %s -> %s\n", id, name)
+		if err := gen(f, quick); err != nil {
+			f.Close()
+			return fmt.Errorf("figure %s: %w", id, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

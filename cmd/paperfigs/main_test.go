@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunAnalyticFigures generates every non-simulation figure into a
+// temp directory and checks the outputs are non-empty and well-formed.
+func TestRunAnalyticFigures(t *testing.T) {
+	dir := t.TempDir()
+	for _, id := range []string{"2", "3", "t1", "t2", "t3", "t4", "t5", "7", "89", "10", "11", "13"} {
+		if err := run(id, dir, true); err != nil {
+			t.Fatalf("fig %s: %v", id, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 12 {
+		t.Fatalf("expected 12 output files, got %d", len(entries))
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", e.Name())
+		}
+		if !strings.HasPrefix(string(data), "#") {
+			t.Errorf("%s missing comment header", e.Name())
+		}
+	}
+}
+
+// TestRunQuickSimFigure generates one simulation figure at quick scale.
+func TestRunQuickSimFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figure in -short mode")
+	}
+	dir := t.TempDir()
+	if err := run("14", dir, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig14.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "expanded scalability") {
+		t.Errorf("fig14 content unexpected:\n%s", data)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("zz", t.TempDir(), true); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestFigureRegistryCoversOrder(t *testing.T) {
+	for _, id := range order {
+		if _, ok := figures[id]; !ok {
+			t.Errorf("order lists %q but no generator is registered", id)
+		}
+	}
+	if len(order) != len(figures) {
+		t.Errorf("order has %d entries, registry %d — keep them in sync", len(order), len(figures))
+	}
+}

@@ -1,0 +1,53 @@
+package flatnet_test
+
+import (
+	"fmt"
+	"log"
+
+	"flatnet"
+)
+
+// ExampleNewFlatFly builds the paper's 32-ary 2-flat.
+func ExampleNewFlatFly() {
+	ff, err := flatnet.NewFlatFly(32, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ff.Name(), "nodes:", ff.NumNodes, "routers:", ff.NumRouters, "radix:", ff.Radix)
+	// Output: 32-ary 2-flat nodes: 1024 routers: 32 radix: 63
+}
+
+// ExampleConfigsForN reproduces Table 4: the flattened-butterfly
+// configurations of a 4K-node network.
+func ExampleConfigsForN() {
+	for _, c := range flatnet.ConfigsForN(4096) {
+		fmt.Printf("k=%d n=%d k'=%d n'=%d\n", c.K, c.N, c.KPrime, c.NPrime)
+	}
+	// Output:
+	// k=64 n=2 k'=127 n'=1
+	// k=16 n=3 k'=46 n'=2
+	// k=8 n=4 k'=29 n'=3
+	// k=4 n=6 k'=19 n'=5
+	// k=2 n=12 k'=13 n'=11
+}
+
+// ExampleCompareCost prices the four topologies of the paper's Fig. 11 at
+// 4K nodes.
+func ExampleCompareCost() {
+	c, err := flatnet.CompareCost(4096, flatnet.DefaultCostModel(), flatnet.DefaultPackaging())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flattened butterfly saves %.0f%% vs the folded Clos at N=4096\n", 100*c.SavingsVsClos())
+	// Output: flattened butterfly saves 47% vs the folded Clos at N=4096
+}
+
+// ExampleFixedRadixConfig selects a configuration per §5.1.2.
+func ExampleFixedRadixConfig() {
+	nPrime, kPrime, maxNodes, err := flatnet.FixedRadixConfig(64, 65536)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("radix-64 routers reach %d nodes with n'=%d (k'=%d)\n", maxNodes, nPrime, kPrime)
+	// Output: radix-64 routers reach 65536 nodes with n'=3 (k'=61)
+}

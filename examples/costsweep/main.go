@@ -1,0 +1,50 @@
+// Cost and power sweep (the paper's §4/§5.3, Figs. 11 and 15): price the
+// four topologies across machine sizes with the Table 2/3/5 models, and
+// show the fixed-N dimensionality trade-off of Fig. 13.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flatnet"
+)
+
+func main() {
+	cm, pwm, pk := flatnet.DefaultCostModel(), flatnet.DefaultPowerModel(), flatnet.DefaultPackaging()
+	sizes := []int{1024, 4096, 16384, 65536}
+
+	fmt.Println("cost per node ($) at constant bisection bandwidth (Fig 11):")
+	fmt.Printf("%-8s %-9s %-12s %-10s %-10s %s\n", "N", "flatfly", "folded-clos", "butterfly", "hypercube", "FB savings")
+	costs, err := flatnet.CostSweep(sizes, cm, pk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range costs {
+		fmt.Printf("%-8d %-9.1f %-12.1f %-10.1f %-10.1f %.0f%%\n", c.N,
+			c.FlatFly.TotalPerNode, c.FoldedClos.TotalPerNode,
+			c.Butterfly.TotalPerNode, c.Hypercube.TotalPerNode, 100*c.SavingsVsClos())
+	}
+
+	fmt.Println("\npower per node (W), dedicated SerDes for local links (Fig 15):")
+	fmt.Printf("%-8s %-9s %-12s %-10s %-10s %s\n", "N", "flatfly", "folded-clos", "butterfly", "hypercube", "FB savings")
+	powers, err := flatnet.PowerSweep(sizes, pwm, pk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range powers {
+		fmt.Printf("%-8d %-9.2f %-12.2f %-10.2f %-10.2f %.0f%%\n", p.N,
+			p.FlatFly.TotalPerNode, p.FoldedClos.TotalPerNode,
+			p.Butterfly.TotalPerNode, p.Hypercube.TotalPerNode, 100*p.SavingsVsClos())
+	}
+
+	fmt.Println("\nfixed N = 4096: the dimensionality trade-off (Fig 13 / Table 4):")
+	fmt.Printf("%-5s %-5s %-5s %-10s %s\n", "n'", "k", "k'", "$/node", "avg cable (m)")
+	for _, c := range flatnet.ConfigsForN(4096) {
+		b := flatnet.FlatFlyBOMForConfig(4096, c.K, c.NPrime, pk)
+		br := flatnet.PriceBOM(b, cm, pk)
+		fmt.Printf("%-5d %-5d %-5d %-10.1f %.2f\n", c.NPrime, c.K, c.KPrime, br.TotalPerNode, br.AvgCableLength)
+	}
+	fmt.Println("\nthe lowest dimensionality (highest radix) gives both the lowest cost and the")
+	fmt.Println("lowest latency: high-radix routers are what make the flattened butterfly work.")
+}

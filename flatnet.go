@@ -1,0 +1,310 @@
+// Package flatnet is a library reproduction of Kim, Dally and Abts,
+// "Flattened Butterfly: A Cost-Efficient Topology for High-Radix
+// Networks" (ISCA 2007).
+//
+// It provides:
+//
+//   - the flattened-butterfly topology (k-ary n-flat) and the comparison
+//     topologies the paper evaluates against it — conventional butterfly,
+//     folded Clos, binary hypercube and generalized hypercube;
+//   - a cycle-accurate flit-level network simulator with virtual-channel
+//     input-queued routers, credit-based flow control, greedy/sequential
+//     route allocators, Bernoulli and batch injection, and the paper's
+//     warm-up/measure/drain methodology;
+//   - the paper's five flattened-butterfly routing algorithms (MIN AD,
+//     VAL, UGAL, UGAL-S, CLOS AD) plus per-topology baselines
+//     (destination-based butterfly, adaptive folded Clos, e-cube);
+//   - the §4 cost model (router, backplane/cable/repeater links, cabinet
+//     packaging geometry) and the §5.3 power model.
+//
+// The quickest way in:
+//
+//	ff, _ := flatnet.NewFlatFly(32, 2)            // 1024 nodes, radix 63
+//	alg := flatnet.NewClosAD(ff)                  // the paper's best router
+//	res, _ := flatnet.RunLoadPoint(ff.Graph(), alg, flatnet.DefaultConfig(),
+//	    flatnet.RunConfig{Load: 0.5, Pattern: flatnet.NewUniform(ff.NumNodes),
+//	        Warmup: 1000, Measure: 1000})
+//	fmt.Println(res.AvgLatency, res.AcceptedRate)
+//
+// The cmd/paperfigs binary regenerates every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md for the index.
+package flatnet
+
+import (
+	"flatnet/internal/analysis"
+	"flatnet/internal/core"
+	"flatnet/internal/cost"
+	"flatnet/internal/layout"
+	"flatnet/internal/power"
+	"flatnet/internal/routing"
+	"flatnet/internal/sim"
+	"flatnet/internal/topo"
+	"flatnet/internal/traffic"
+)
+
+// Topology types.
+type (
+	// FlatFly is the paper's k-ary n-flat flattened butterfly.
+	FlatFly = core.FlatFly
+	// OneDimFB is the single-dimension flattened butterfly generalized to
+	// arbitrary router counts (Fig. 14(b)).
+	OneDimFB = core.OneDimFB
+	// Butterfly is a conventional k-ary n-fly.
+	Butterfly = topo.Butterfly
+	// FoldedClos is a two-level folded Clos / fat tree.
+	FoldedClos = topo.FoldedClos
+	// Hypercube is a binary hypercube.
+	Hypercube = topo.Hypercube
+	// GHC is a generalized hypercube.
+	GHC = topo.GHC
+	// Torus is a k-ary n-cube, the low-radix baseline of §1.
+	Torus = topo.Torus
+	// Topology is the interface all of the above satisfy.
+	Topology = topo.Topology
+	// Graph is the directed channel graph the simulator consumes.
+	Graph = topo.Graph
+	// NodeID identifies a terminal.
+	NodeID = topo.NodeID
+	// RouterID identifies a router.
+	RouterID = topo.RouterID
+	// FFOption configures NewFlatFly.
+	FFOption = core.Option
+	// FFConfig is one (k, n) flattened-butterfly configuration (Table 4).
+	FFConfig = core.Config
+)
+
+// Topology constructors.
+var (
+	// NewFlatFly builds a k-ary n-flat.
+	NewFlatFly = core.NewFlatFly
+	// NewOneDimFB builds a complete-graph 1-D flattened butterfly.
+	NewOneDimFB = core.NewOneDimFB
+	// WithMultiplicity doubles (or more) every inter-router link (Fig 14a).
+	WithMultiplicity = core.WithMultiplicity
+	// WithChannelLatency sets inter-router channel latency in cycles.
+	WithChannelLatency = core.WithChannelLatency
+	// NewButterfly builds a k-ary n-fly.
+	NewButterfly = topo.NewButterfly
+	// NewDilatedButterfly builds a k-ary n-fly with replicated channels
+	// (the §6 dilated-butterfly alternative).
+	NewDilatedButterfly = topo.NewDilatedButterfly
+	// NewFoldedClos builds a folded Clos with explicit parameters.
+	NewFoldedClos = topo.NewFoldedClos
+	// TaperedClosForNodes builds the §3.3 equal-bisection folded Clos.
+	TaperedClosForNodes = topo.TaperedClosForNodes
+	// NewHypercube builds a binary hypercube.
+	NewHypercube = topo.NewHypercube
+	// NewConcentratedHypercube builds a hypercube with several terminals
+	// per router (the paper's footnote 10 configuration).
+	NewConcentratedHypercube = topo.NewConcentratedHypercube
+	// NewGHC builds a generalized hypercube.
+	NewGHC = topo.NewGHC
+	// NewTorus builds a k-ary n-cube.
+	NewTorus = topo.NewTorus
+)
+
+// Scaling relationships (§2.1, §5.1).
+var (
+	// NetworkSize returns N(k', n') for the Fig. 2 scaling curves.
+	NetworkSize = core.NetworkSize
+	// ConfigsForN enumerates the (k, n) configurations of a network size
+	// (Table 4 for N = 4096).
+	ConfigsForN = core.ConfigsForN
+	// FixedRadixConfig selects the smallest dimensionality for a router
+	// radix and target size (§5.1.2).
+	FixedRadixConfig = core.FixedRadixConfig
+	// MaxNodesForRadix returns the largest network a radix supports at a
+	// given dimensionality.
+	MaxNodesForRadix = core.MaxNodesForRadix
+)
+
+// Simulator types.
+type (
+	// Config holds router microarchitecture parameters.
+	Config = sim.Config
+	// RunConfig describes one open-loop measurement.
+	RunConfig = sim.RunConfig
+	// BurstConfig selects bursty (on/off) injection in RunConfig.
+	BurstConfig = sim.BurstConfig
+	// ClosedLoopConfig describes a request-reply workload.
+	ClosedLoopConfig = sim.ClosedLoopConfig
+	// ClosedLoopResult reports a closed-loop run.
+	ClosedLoopResult = sim.ClosedLoopResult
+	// LoadPointResult is one measured (load, latency, throughput) sample.
+	LoadPointResult = sim.LoadPointResult
+	// BatchResult is one Fig. 5 batch experiment result.
+	BatchResult = sim.BatchResult
+	// Network is an instantiated simulation.
+	Network = sim.Network
+	// Packet is a single-flit packet.
+	Packet = sim.Packet
+	// Algorithm routes packets.
+	Algorithm = sim.Algorithm
+	// RouterView is the routing algorithm's view of router state.
+	RouterView = sim.RouterView
+	// TraceEntry is one packet arrival in a traffic trace.
+	TraceEntry = sim.TraceEntry
+	// ChannelLoad reports per-channel traffic for utilization analysis.
+	ChannelLoad = sim.ChannelLoad
+)
+
+// Simulator entry points.
+var (
+	// NewNetwork builds a simulation over a channel graph.
+	NewNetwork = sim.New
+	// DefaultConfig mirrors the paper's §3.2 router parameters.
+	DefaultConfig = sim.DefaultConfig
+	// RunLoadPoint executes the warm-up/measure/drain methodology.
+	RunLoadPoint = sim.RunLoadPoint
+	// LoadSweep runs RunLoadPoint across offered loads.
+	LoadSweep = sim.LoadSweep
+	// SaturationThroughput measures accepted rate at full offered load.
+	SaturationThroughput = sim.SaturationThroughput
+	// RunBatch executes the Fig. 5 batch experiment.
+	RunBatch = sim.RunBatch
+	// ReadTrace and WriteTrace serialize traffic traces.
+	ReadTrace  = sim.ReadTrace
+	WriteTrace = sim.WriteTrace
+	// RunClosedLoop executes a request-reply (remote-memory-access)
+	// workload with a per-node outstanding-request window.
+	RunClosedLoop = sim.RunClosedLoop
+)
+
+// Traffic patterns.
+type (
+	// Pattern maps sources to destinations.
+	Pattern = traffic.Pattern
+)
+
+var (
+	// NewUniform is benign uniform-random traffic.
+	NewUniform = traffic.NewUniform
+	// NewWorstCase is the §3.2 adversarial pattern (router i to i+1).
+	NewWorstCase = traffic.NewWorstCase
+	// NewBitComplement, NewTranspose, NewShuffle, NewTornado and NewFixed
+	// are additional standard patterns.
+	NewBitComplement = traffic.NewBitComplement
+	NewTranspose     = traffic.NewTranspose
+	NewShuffle       = traffic.NewShuffle
+	NewTornado       = traffic.NewTornado
+	NewFixed         = traffic.NewFixed
+)
+
+// Routing algorithms.
+var (
+	// NewMinAD is §3.1 minimal adaptive routing.
+	NewMinAD = routing.NewMinAD
+	// NewValiant is §3.1 VAL.
+	NewValiant = routing.NewValiant
+	// NewUGAL is §3.1 UGAL with a greedy allocator.
+	NewUGAL = routing.NewUGAL
+	// NewUGALS is UGAL with a sequential allocator.
+	NewUGALS = routing.NewUGALS
+	// NewClosAD is §3.1 adaptive Clos routing on the flattened butterfly.
+	NewClosAD = routing.NewClosAD
+	// NewFlatFlyAlgorithm constructs any of the five by name.
+	NewFlatFlyAlgorithm = routing.NewFlatFlyAlgorithm
+	// NewButterflyDest is destination-based butterfly routing.
+	NewButterflyDest = routing.NewButterflyDest
+	// NewFoldedClosAdaptive is adaptive sequential folded-Clos routing.
+	NewFoldedClosAdaptive = routing.NewFoldedClosAdaptive
+	// NewECube is hypercube dimension-order routing.
+	NewECube = routing.NewECube
+	// NewGHCMinAdaptive is minimal adaptive GHC routing.
+	NewGHCMinAdaptive = routing.NewGHCMinAdaptive
+	// NewTorusDOR is dateline dimension-order torus routing.
+	NewTorusDOR = routing.NewTorusDOR
+)
+
+// Cost and power models (§4, §5.3).
+type (
+	// CostModel holds the Table 2 constants.
+	CostModel = cost.Model
+	// Packaging holds the Table 3 constants.
+	Packaging = cost.Packaging
+	// CostBreakdown is a priced bill of materials.
+	CostBreakdown = cost.Breakdown
+	// CostComparison compares the four §4.3 topologies at one size.
+	CostComparison = cost.Comparison
+	// PowerModel holds the Table 5 constants.
+	PowerModel = power.Model
+	// PowerComparison compares per-node power at one size.
+	PowerComparison = power.Comparison
+	// BOM is a topology's bill of materials.
+	BOM = cost.BOM
+)
+
+var (
+	// DefaultCostModel returns the Table 2 constants.
+	DefaultCostModel = cost.DefaultModel
+	// DefaultPackaging returns the Table 3 constants.
+	DefaultPackaging = cost.DefaultPackaging
+	// DefaultPowerModel returns the Table 5 constants.
+	DefaultPowerModel = power.DefaultModel
+	// CompareCost prices the four topologies at one size (Fig. 11).
+	CompareCost = cost.Compare
+	// CostSweep prices across sizes.
+	CostSweep = cost.Sweep
+	// ComparePower evaluates per-node power (Fig. 15).
+	ComparePower = power.Compare
+	// PowerSweep evaluates power across sizes.
+	PowerSweep = power.Sweep
+	// FlatFlyBOMForConfig builds a bill of materials for an explicit
+	// (k, n') configuration (Fig. 13).
+	FlatFlyBOMForConfig = cost.FlatFlyBOMForConfig
+	// FlatFlyBOM builds the standard flattened-butterfly bill of
+	// materials for a node count (§5.1.2 configuration selection).
+	FlatFlyBOM = cost.FlatFlyBOM
+	// GHCBOM builds a generalized-hypercube bill of materials (§2.3).
+	GHCBOM = cost.GHCBOM
+	// DilatedButterflyBOM prices the §6 dilated-butterfly alternative.
+	DilatedButterflyBOM = cost.DilatedButterflyBOM
+	// FoldedClosBOM, ButterflyBOM and HypercubeBOM build the comparison
+	// topologies' bills of materials.
+	FoldedClosBOM = cost.FoldedClosBOM
+	ButterflyBOM  = cost.ButterflyBOM
+	HypercubeBOM  = cost.HypercubeBOM
+	// PriceBOM applies the cost model to a bill of materials.
+	PriceBOM = cost.Price
+)
+
+// Physical packaging layout (§4.2, Figs. 8-9) and wire delay (§5.2).
+type (
+	// Placement assigns routers to cabinets on a floor plan.
+	Placement = layout.Placement
+	// FloorPlan arranges cabinets on the machine-room floor.
+	FloorPlan = layout.FloorPlan
+	// CableStats summarizes measured cable lengths.
+	CableStats = layout.CableStats
+	// WireDelayComparison is the §5.2 FB-vs-Clos wire-distance study.
+	WireDelayComparison = layout.WireDelayComparison
+)
+
+var (
+	// NewFloorPlan lays out cabinets near-square.
+	NewFloorPlan = layout.NewFloorPlan
+	// PlaceFlatFly, PlaceFoldedClos, PlaceHypercube and PlaceButterfly
+	// package each topology per the paper's Figs. 8-9.
+	PlaceFlatFly    = layout.PlaceFlatFly
+	PlaceFoldedClos = layout.PlaceFoldedClos
+	PlaceHypercube  = layout.PlaceHypercube
+	PlaceButterfly  = layout.PlaceButterfly
+	// CompareWireDelay runs the §5.2 wire-delay study.
+	CompareWireDelay = layout.CompareWireDelay
+)
+
+// Closed-form saturation-throughput models, used to validate the
+// simulator against channel-load theory.
+var (
+	// FlatFlyWCMinimal is 1/k (§3.2).
+	FlatFlyWCMinimal = analysis.FlatFlyWCMinimal
+	// FlatFlyWCNonMinimal is (k-1)/2k.
+	FlatFlyWCNonMinimal = analysis.FlatFlyWCNonMinimal
+	// FoldedClosURThroughput models the tapered Clos's ~50% cap.
+	FoldedClosURThroughput = analysis.FoldedClosURThroughput
+	// TorusTornadoThroughput is 1/floor(k/2).
+	TorusTornadoThroughput = analysis.TorusTornadoThroughput
+	// CreditLimitedChannelRate is min(1, depth/RTT) — the Fig. 12(b)
+	// mechanism.
+	CreditLimitedChannelRate = analysis.CreditLimitedChannelRate
+)

@@ -1,0 +1,90 @@
+package cost
+
+import "fmt"
+
+// Breakdown is the priced bill of materials of one topology at one size.
+type Breakdown struct {
+	Topology string
+	N        int
+	// Per-node dollar figures.
+	RouterPerNode float64
+	LinkPerNode   float64
+	TotalPerNode  float64
+	// LinkFraction is link cost / total cost (Fig. 10(a)).
+	LinkFraction float64
+	// AvgCableLength is the channel-weighted mean length of the global
+	// cables (Fig. 10(b)), excluding the per-cable overhead like the
+	// paper's plot. Topologies whose cables are all local report 0.
+	AvgCableLength float64
+}
+
+// Price applies the cost model to a bill of materials.
+func Price(b BOM, m Model, p Packaging) Breakdown {
+	out := Breakdown{Topology: b.Topology, N: b.N}
+	out.RouterPerNode = b.RoutersPerNode * m.RouterCost(b.RouterPortsUsed, p.Radix)
+	var cableLen, cableCount float64
+	for _, g := range b.Links {
+		perSignal := m.SignalCost(g.Class, g.Length)
+		out.LinkPerNode += g.PerNode * float64(p.SignalsPerPort) * perSignal
+		if g.Class == GlobalCable {
+			cableLen += g.PerNode * (g.Length - p.CableOverhead)
+			cableCount += g.PerNode
+		}
+	}
+	if cableCount > 0 {
+		out.AvgCableLength = cableLen / cableCount
+	}
+	out.TotalPerNode = out.RouterPerNode + out.LinkPerNode
+	if out.TotalPerNode > 0 {
+		out.LinkFraction = out.LinkPerNode / out.TotalPerNode
+	}
+	return out
+}
+
+// Comparison holds one row of the Fig. 10/11 sweep: the four topologies
+// priced at one network size.
+type Comparison struct {
+	N          int
+	FlatFly    Breakdown
+	FoldedClos Breakdown
+	Butterfly  Breakdown
+	Hypercube  Breakdown
+}
+
+// Compare prices all four §4.3 topologies at the given size.
+func Compare(n int, m Model, p Packaging) (Comparison, error) {
+	ff, err := FlatFlyBOM(n, p)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("cost: %w", err)
+	}
+	return Comparison{
+		N:          n,
+		FlatFly:    Price(ff, m, p),
+		FoldedClos: Price(FoldedClosBOM(n, p), m, p),
+		Butterfly:  Price(ButterflyBOM(n, p), m, p),
+		Hypercube:  Price(HypercubeBOM(n, p), m, p),
+	}, nil
+}
+
+// Sweep prices the four topologies across the given sizes (Fig. 11).
+func Sweep(sizes []int, m Model, p Packaging) ([]Comparison, error) {
+	out := make([]Comparison, 0, len(sizes))
+	for _, n := range sizes {
+		c, err := Compare(n, m, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// SavingsVsClos returns the flattened butterfly's fractional cost
+// reduction relative to the folded Clos (the paper reports 35-53%
+// depending on N).
+func (c Comparison) SavingsVsClos() float64 {
+	if c.FoldedClos.TotalPerNode == 0 {
+		return 0
+	}
+	return 1 - c.FlatFly.TotalPerNode/c.FoldedClos.TotalPerNode
+}

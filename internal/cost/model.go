@@ -1,0 +1,124 @@
+// Package cost implements the paper's §4 interconnection-network cost
+// model: router cost (recurring silicon + amortized development), link
+// cost by packaging level (backplane, short electrical cable, long
+// electrical cable with repeaters), the Fig. 7 cable cost curve, the
+// cabinet packaging geometry of §4.2, and the per-topology bill of
+// materials used for the Fig. 10/11/13 comparisons.
+package cost
+
+import "math"
+
+// Model holds the Table 2 cost constants. All link costs are dollars per
+// differential signal; router costs are dollars per router.
+type Model struct {
+	// RouterChip is the recurring silicon cost per router (MPR model for a
+	// TSMC 0.13um 17x17mm chip including packaging and test).
+	RouterChip float64
+	// RouterDev is the non-recurring development cost amortized per router
+	// (~$6M over 20k parts).
+	RouterDev float64
+	// BackplanePerSignal is the cost of one backplane signal, including
+	// the connector ($3000 for 1536 signals).
+	BackplanePerSignal float64
+	// CableOverheadPerSignal is the y-intercept of the electrical cable
+	// cost curve: connectors, shielding, assembly, test.
+	CableOverheadPerSignal float64
+	// CablePerMeterPerSignal is the copper cost slope.
+	CablePerMeterPerSignal float64
+	// OpticalPerSignal is the cost of one optical signal (cable plus
+	// transceiver share); quoted for reference, the analysis uses
+	// electrical cables with repeaters instead (§4.1).
+	OpticalPerSignal float64
+	// RepeaterSpacing is the longest electrical cable drivable at full
+	// rate; beyond it repeaters re-time the signal every RepeaterSpacing
+	// meters.
+	RepeaterSpacing float64
+	// RepeaterStepPerSignal is the cost added per repeater per signal,
+	// dominated by the extra connector cost (§4.1, Fig. 7(b)).
+	RepeaterStepPerSignal float64
+}
+
+// DefaultModel returns the Table 2 constants.
+func DefaultModel() Model {
+	return Model{
+		RouterChip:             90,
+		RouterDev:              300,
+		BackplanePerSignal:     1.95,
+		CableOverheadPerSignal: 3.72,
+		CablePerMeterPerSignal: 0.81,
+		OpticalPerSignal:       220,
+		RepeaterSpacing:        6,
+		RepeaterStepPerSignal:  3.72,
+	}
+}
+
+// RouterCost returns the cost of one router using portsUsed of the
+// portsMax pins of the reference radix-64 part. Pin count scales the
+// recurring cost (the paper adjusts the hypercube's router cost "based on
+// the number of pins required"); development cost is charged in the same
+// proportion so that partially-used routers are not charged for unused
+// bandwidth.
+func (m Model) RouterCost(portsUsed, portsMax int) float64 {
+	if portsMax <= 0 {
+		portsMax = 64
+	}
+	frac := float64(portsUsed) / float64(portsMax)
+	if frac > 1 {
+		frac = 1
+	}
+	return (m.RouterChip + m.RouterDev) * frac
+}
+
+// CableCostPerSignal implements the Fig. 7(b) cable cost curve: a linear
+// overhead + $/m model with a step of one repeater (connector) cost every
+// RepeaterSpacing meters beyond the first span.
+func (m Model) CableCostPerSignal(length float64) float64 {
+	if length <= 0 {
+		return 0
+	}
+	c := m.CableOverheadPerSignal + m.CablePerMeterPerSignal*length
+	if length > m.RepeaterSpacing {
+		repeaters := math.Floor((length - 1e-9) / m.RepeaterSpacing)
+		c += repeaters * m.RepeaterStepPerSignal
+	}
+	return c
+}
+
+// LinkClass classifies a link by its packaging level, which determines
+// both its cost (Table 2) and its SerDes power (Table 5).
+type LinkClass uint8
+
+const (
+	// Backplane links stay within one cabinet (< 1 m).
+	Backplane LinkClass = iota
+	// LocalCable links connect nearby routers with short (~2 m) cables,
+	// e.g. flattened-butterfly dimension-1 links between adjacent
+	// cabinets.
+	LocalCable
+	// GlobalCable links cross the machine floor and may need repeaters.
+	GlobalCable
+)
+
+// String names the class.
+func (c LinkClass) String() string {
+	switch c {
+	case Backplane:
+		return "backplane"
+	case LocalCable:
+		return "local"
+	case GlobalCable:
+		return "global"
+	default:
+		return "unknown"
+	}
+}
+
+// SignalCost returns the cost per differential signal of a link of the
+// given class and length (meters, including overhead). Backplane links
+// have fixed cost; cables follow the Fig. 7 curve.
+func (m Model) SignalCost(class LinkClass, length float64) float64 {
+	if class == Backplane {
+		return m.BackplanePerSignal
+	}
+	return m.CableCostPerSignal(length)
+}

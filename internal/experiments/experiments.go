@@ -1,0 +1,290 @@
+// Package experiments defines the paper's evaluation experiments — one
+// entry per table and figure — at full (paper-scale) or quick (smoke)
+// scale. cmd/paperfigs renders their results to files; the repository
+// benchmarks execute them under testing.B; tests assert their headline
+// shapes.
+package experiments
+
+import (
+	"fmt"
+
+	"flatnet/internal/core"
+	"flatnet/internal/routing"
+	"flatnet/internal/sim"
+	"flatnet/internal/topo"
+	"flatnet/internal/traffic"
+)
+
+// Scale selects the fidelity of the simulation experiments.
+type Scale struct {
+	// K and N define the k-ary n-flat under test (the paper's §3.2
+	// network is the 32-ary 2-flat, N = 1024).
+	K, N int
+	// Warmup, Measure and MaxCycles parameterize each load point.
+	Warmup, Measure, MaxCycles int
+	// Loads is the offered-load sweep for latency curves.
+	Loads []float64
+	// Batches is the batch-size sweep for Fig. 5.
+	Batches []int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Full returns the paper-scale configuration: the 32-ary 2-flat
+// (N = 1024, k' = 63) of §3.2.
+func Full() Scale {
+	return Scale{
+		K: 32, N: 2,
+		Warmup: 2000, Measure: 2000, MaxCycles: 30000,
+		Loads:   []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98},
+		Batches: []int{1, 2, 4, 8, 16, 32, 64, 128, 256},
+		Seed:    1,
+	}
+}
+
+// Quick returns a reduced-scale configuration (16-ary 2-flat, short
+// windows) for smoke runs and CI.
+func Quick() Scale {
+	return Scale{
+		K: 16, N: 2,
+		Warmup: 400, Measure: 400, MaxCycles: 4000,
+		Loads:   []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+		Batches: []int{2, 8, 32},
+		Seed:    1,
+	}
+}
+
+func (s Scale) flatFly() (*core.FlatFly, error) { return core.NewFlatFly(s.K, s.N) }
+
+func (s Scale) config() sim.Config {
+	return sim.Config{Seed: s.Seed, BufPerPort: 32}
+}
+
+func (s Scale) runConfig(load float64, p traffic.Pattern) sim.RunConfig {
+	return sim.RunConfig{
+		Load: load, Pattern: p,
+		Warmup: s.Warmup, Measure: s.Measure, MaxCycles: s.MaxCycles,
+	}
+}
+
+// pattern builds the named workload for a flattened butterfly.
+func (s Scale) pattern(name string, f *core.FlatFly) (traffic.Pattern, error) {
+	switch name {
+	case "uniform", "UR":
+		return traffic.NewUniform(f.NumNodes), nil
+	case "worstcase", "WC":
+		return traffic.NewWorstCase(f.K, f.NumRouters), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown pattern %q", name)
+	}
+}
+
+// AlgSeries is one routing algorithm's latency-versus-load curve.
+type AlgSeries struct {
+	Algorithm string
+	Points    []sim.LoadPointResult
+	// SaturationThroughput is the accepted rate at full offered load.
+	SaturationThroughput float64
+}
+
+// Fig4 reproduces Figure 4: the five routing algorithms on the flattened
+// butterfly under uniform ("UR") or worst-case ("WC") traffic.
+func Fig4(patternName string, s Scale) ([]AlgSeries, error) {
+	f, err := s.flatFly()
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.pattern(patternName, f)
+	if err != nil {
+		return nil, err
+	}
+	algs := []sim.Algorithm{
+		routing.NewMinAD(f), routing.NewValiant(f),
+		routing.NewUGAL(f), routing.NewUGALS(f), routing.NewClosAD(f),
+	}
+	out := make([]AlgSeries, 0, len(algs))
+	for _, alg := range algs {
+		pts, err := sim.LoadSweep(f.Graph(), alg, s.config(), s.runConfig(0, p), s.Loads)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4 %s: %w", alg.Name(), err)
+		}
+		sat, err := sim.SaturationThroughput(f.Graph(), alg, s.config(), p, s.Warmup, s.Measure)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AlgSeries{Algorithm: alg.Name(), Points: pts, SaturationThroughput: sat})
+	}
+	return out, nil
+}
+
+// BatchSeries is one algorithm's Fig. 5 dynamic-response curve.
+type BatchSeries struct {
+	Algorithm string
+	Points    []sim.BatchResult
+}
+
+// Fig5 reproduces Figure 5: batch completion latency normalized to batch
+// size, on the worst-case pattern, for the four load-balancing
+// algorithms.
+func Fig5(s Scale) ([]BatchSeries, error) {
+	f, err := s.flatFly()
+	if err != nil {
+		return nil, err
+	}
+	wc := traffic.NewWorstCase(f.K, f.NumRouters)
+	algs := []sim.Algorithm{
+		routing.NewValiant(f), routing.NewUGAL(f), routing.NewUGALS(f), routing.NewClosAD(f),
+	}
+	out := make([]BatchSeries, 0, len(algs))
+	for _, alg := range algs {
+		bs := BatchSeries{Algorithm: alg.Name()}
+		for _, b := range s.Batches {
+			r, err := sim.RunBatch(f.Graph(), alg, s.config(), wc, b, 0)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig5 %s: %w", alg.Name(), err)
+			}
+			bs.Points = append(bs.Points, r)
+		}
+		out = append(out, bs)
+	}
+	return out, nil
+}
+
+// TopoSeries is one topology's Fig. 6 curve.
+type TopoSeries struct {
+	Topology             string
+	Algorithm            string
+	Points               []sim.LoadPointResult
+	SaturationThroughput float64
+}
+
+// Fig6 reproduces Figure 6: flattened butterfly (CLOS AD), conventional
+// butterfly (destination), folded Clos (adaptive sequential, 2:1 taper for
+// equal bisection) and hypercube (e-cube) under uniform or worst-case
+// traffic, with bisection bandwidth held constant (Table 1).
+func Fig6(patternName string, s Scale) ([]TopoSeries, error) {
+	f, err := s.flatFly()
+	if err != nil {
+		return nil, err
+	}
+	n := f.NumNodes
+	bf, err := topo.NewButterfly(s.K, s.N)
+	if err != nil {
+		return nil, err
+	}
+	fc, err := topo.NewFoldedClos(f.K, f.K/2, f.NumRouters, maxInt(1, f.K/4))
+	if err != nil {
+		return nil, err
+	}
+	dims := 0
+	for c := 1; c < n; c <<= 1 {
+		dims++
+	}
+	hc, err := topo.NewHypercube(dims)
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		g    *topo.Graph
+		name string
+		alg  sim.Algorithm
+		conc int // worst-case pattern concentration
+	}
+	entries := []entry{
+		{f.Graph(), f.Name(), routing.NewClosAD(f), f.K},
+		{bf.Graph(), bf.Name(), routing.NewButterflyDest(bf), f.K},
+		{fc.Graph(), fc.Name(), routing.NewFoldedClosAdaptive(fc), f.K},
+		{hc.Graph(), hc.Name(), routing.NewECube(hc), f.K},
+	}
+	out := make([]TopoSeries, 0, len(entries))
+	for _, e := range entries {
+		var p traffic.Pattern
+		switch patternName {
+		case "uniform", "UR":
+			p = traffic.NewUniform(n)
+		case "worstcase", "WC":
+			p = traffic.NewWorstCase(e.conc, n/e.conc)
+		default:
+			return nil, fmt.Errorf("experiments: unknown pattern %q", patternName)
+		}
+		pts, err := sim.LoadSweep(e.g, e.alg, s.config(), s.runConfig(0, p), s.Loads)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig6 %s: %w", e.name, err)
+		}
+		sat, err := sim.SaturationThroughput(e.g, e.alg, s.config(), p, s.Warmup, s.Measure)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TopoSeries{Topology: e.name, Algorithm: e.alg.Name(), Points: pts, SaturationThroughput: sat})
+	}
+	return out, nil
+}
+
+// ConfigSeries is one (k, n') configuration's Fig. 12 result.
+type ConfigSeries struct {
+	Config               core.Config
+	Points               []sim.LoadPointResult
+	SaturationThroughput float64
+}
+
+// Fig12 reproduces Figure 12: the Table 4 configurations of a fixed-size
+// network simulated under VAL (a) or MIN AD (b). For MIN AD the paper
+// holds the total storage per physical channel at 64 flits, split over
+// the n' virtual channels, so throughput degrades as n' grows. That
+// effect only binds when the credit round trip exceeds the aggregate
+// per-VC buffering a channel's active VCs provide, so the MIN AD study
+// uses 16-cycle channels (modeling the global cables and pipelined SerDes
+// of the paper's router, where 64 flits per physical channel was a
+// meaningful budget); VAL uses the default 1-cycle channels. nodes
+// selects the network size (the paper uses 4096).
+func Fig12(alg string, nodes int, loads []float64, s Scale) ([]ConfigSeries, error) {
+	cfgs := core.ConfigsForN(nodes)
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("experiments: no flattened-butterfly configurations for N=%d", nodes)
+	}
+	out := make([]ConfigSeries, 0, len(cfgs))
+	for _, c := range cfgs {
+		var topoOpts []core.Option
+		if alg == "MIN AD" {
+			topoOpts = append(topoOpts, core.WithChannelLatency(16))
+		}
+		f, err := core.NewFlatFly(c.K, c.N, topoOpts...)
+		if err != nil {
+			return nil, err
+		}
+		var a sim.Algorithm
+		cfg := s.config()
+		switch alg {
+		case "VAL":
+			a = routing.NewValiant(f)
+		case "MIN AD":
+			a = routing.NewMinAD(f)
+			cfg.BufPerPort = 64 // §5.1.1: 64 flits per PC split across n' VCs
+		default:
+			return nil, fmt.Errorf("experiments: fig12 supports VAL and MIN AD, not %q", alg)
+		}
+		p := traffic.NewUniform(f.NumNodes)
+		rc := s.runConfig(0, p)
+		// The high-dimensionality configurations are large (up to N/2
+		// routers) and some load points sit beyond saturation; bound the
+		// drain so the sweep completes in reasonable time.
+		rc.MaxCycles = 4 * (s.Warmup + s.Measure)
+		pts, err := sim.LoadSweep(f.Graph(), a, cfg, rc, loads)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig12 k=%d: %w", c.K, err)
+		}
+		sat, err := sim.SaturationThroughput(f.Graph(), a, cfg, p, s.Warmup, s.Measure)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ConfigSeries{Config: c, Points: pts, SaturationThroughput: sat})
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

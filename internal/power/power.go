@@ -1,0 +1,131 @@
+// Package power implements the paper's §5.3 power model: switch power
+// proportional to router bandwidth plus per-signal SerDes power that
+// depends on the packaging level of each link. Direct topologies and the
+// flattened butterfly can dedicate SerDes to local links (40 mW versus
+// 200 mW for a global cable driver), which is the source of the flattened
+// butterfly's power advantage (Fig. 15).
+package power
+
+import (
+	"flatnet/internal/cost"
+)
+
+// Model holds the Table 5 power constants.
+type Model struct {
+	// SwitchW is the power of a fully-utilized reference-radix router
+	// (switch, arbitration, routing logic): 40 W. It scales with the
+	// fraction of router bandwidth (ports) actually used.
+	SwitchW float64
+	// LinkGlobalW is the per-signal SerDes power to drive a global cable
+	// (P_link_gg): 0.200 W.
+	LinkGlobalW float64
+	// LinkGlobalLocalW is the per-signal power of a global-capable SerDes
+	// driving a local link (P_link_gl): 0.160 W.
+	LinkGlobalLocalW float64
+	// LinkLocalW is the per-signal power of a dedicated local SerDes
+	// driving <1 m of backplane (P_link_ll): 0.040 W.
+	LinkLocalW float64
+}
+
+// DefaultModel returns the Table 5 constants.
+func DefaultModel() Model {
+	return Model{
+		SwitchW:          40,
+		LinkGlobalW:      0.200,
+		LinkGlobalLocalW: 0.160,
+		LinkLocalW:       0.040,
+	}
+}
+
+// signalPower assigns SerDes power to a link group. Backplane links use
+// dedicated local SerDes; local cables use the intermediate P_link_gl
+// driver; global cables use full global drivers. `dedicated` reports
+// whether the topology can commit SerDes to packaging levels (direct
+// topologies and the flattened butterfly, §5.3); without dedication every
+// inter-router SerDes must be provisioned as a global driver.
+func (m Model) signalPower(class cost.LinkClass, dedicated bool) float64 {
+	if !dedicated {
+		if class == cost.Backplane {
+			// Terminal links are always local and always dedicated.
+			return m.LinkLocalW
+		}
+		return m.LinkGlobalW
+	}
+	switch class {
+	case cost.Backplane, cost.LocalCable:
+		return m.LinkLocalW
+	default:
+		return m.LinkGlobalW
+	}
+}
+
+// Breakdown is the per-node power of one topology at one size.
+type Breakdown struct {
+	Topology      string
+	N             int
+	SwitchPerNode float64 // watts
+	LinkPerNode   float64 // watts
+	TotalPerNode  float64 // watts
+}
+
+// Price evaluates the power model over a bill of materials. dedicated
+// selects the §5.3 dedicated-SerDes assumption.
+func Price(b cost.BOM, m Model, p cost.Packaging, dedicated bool) Breakdown {
+	out := Breakdown{Topology: b.Topology, N: b.N}
+	out.SwitchPerNode = b.RoutersPerNode * m.SwitchW * float64(b.RouterPortsUsed) / float64(p.Radix)
+	for _, g := range b.Links {
+		out.LinkPerNode += g.PerNode * float64(p.SignalsPerPort) * m.signalPower(g.Class, dedicated)
+	}
+	out.TotalPerNode = out.SwitchPerNode + out.LinkPerNode
+	return out
+}
+
+// Comparison holds one row of the Fig. 15 sweep.
+type Comparison struct {
+	N          int
+	FlatFly    Breakdown
+	FoldedClos Breakdown
+	Butterfly  Breakdown
+	Hypercube  Breakdown
+}
+
+// Compare evaluates all four topologies at size n. The flattened
+// butterfly and the hypercube (a direct topology) get dedicated SerDes;
+// the folded Clos and conventional butterfly are indirect topologies whose
+// inter-router SerDes must drive global links (§5.3).
+func Compare(n int, m Model, p cost.Packaging) (Comparison, error) {
+	ff, err := cost.FlatFlyBOM(n, p)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		N:          n,
+		FlatFly:    Price(ff, m, p, true),
+		FoldedClos: Price(cost.FoldedClosBOM(n, p), m, p, false),
+		Butterfly:  Price(cost.ButterflyBOM(n, p), m, p, false),
+		Hypercube:  Price(cost.HypercubeBOM(n, p), m, p, true),
+	}, nil
+}
+
+// Sweep evaluates the Fig. 15 comparison across sizes.
+func Sweep(sizes []int, m Model, p cost.Packaging) ([]Comparison, error) {
+	out := make([]Comparison, 0, len(sizes))
+	for _, n := range sizes {
+		c, err := Compare(n, m, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// SavingsVsClos returns the flattened butterfly's fractional power
+// reduction versus the folded Clos (the paper reports ~48% at 4-8K nodes,
+// dropping to ~20% beyond 8K when a third dimension is needed).
+func (c Comparison) SavingsVsClos() float64 {
+	if c.FoldedClos.TotalPerNode == 0 {
+		return 0
+	}
+	return 1 - c.FlatFly.TotalPerNode/c.FoldedClos.TotalPerNode
+}

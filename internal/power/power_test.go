@@ -1,0 +1,132 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"flatnet/internal/cost"
+)
+
+func TestTable5Constants(t *testing.T) {
+	m := DefaultModel()
+	if m.SwitchW != 40 || m.LinkGlobalW != 0.200 || m.LinkGlobalLocalW != 0.160 || m.LinkLocalW != 0.040 {
+		t.Fatalf("Table 5 constants wrong: %+v", m)
+	}
+}
+
+func TestSignalPowerAssignment(t *testing.T) {
+	m := DefaultModel()
+	// Dedicated SerDes: local links draw local power.
+	if m.signalPower(cost.Backplane, true) != m.LinkLocalW {
+		t.Error("dedicated backplane should be P_ll")
+	}
+	if m.signalPower(cost.LocalCable, true) != m.LinkLocalW {
+		t.Error("dedicated local cable should be P_ll")
+	}
+	if m.signalPower(cost.GlobalCable, true) != m.LinkGlobalW {
+		t.Error("global cable should be P_gg")
+	}
+	// Indirect topologies: inter-router SerDes provisioned global.
+	if m.signalPower(cost.LocalCable, false) != m.LinkGlobalW {
+		t.Error("non-dedicated local cable should pay P_gg")
+	}
+	if m.signalPower(cost.Backplane, false) != m.LinkLocalW {
+		t.Error("terminal backplane is always local")
+	}
+}
+
+func TestFig15PowerComparison(t *testing.T) {
+	m, p := DefaultModel(), cost.DefaultPackaging()
+	for _, n := range []int{1024, 4096, 16384, 65536} {
+		c, err := Compare(n, m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Hypercube gives the highest power consumption (§5.3).
+		for _, other := range []Breakdown{c.FlatFly, c.FoldedClos, c.Butterfly} {
+			if c.Hypercube.TotalPerNode <= other.TotalPerNode {
+				t.Errorf("N=%d: hypercube (%.2fW) should exceed %s (%.2fW)",
+					n, c.Hypercube.TotalPerNode, other.Topology, other.TotalPerNode)
+			}
+		}
+		// The FB always beats the folded Clos.
+		if c.FlatFly.TotalPerNode >= c.FoldedClos.TotalPerNode {
+			t.Errorf("N=%d: FB power (%.2fW) should undercut Clos (%.2fW)",
+				n, c.FlatFly.TotalPerNode, c.FoldedClos.TotalPerNode)
+		}
+	}
+}
+
+func TestFig15FBBeatsButterflyAt1K(t *testing.T) {
+	// §5.3: "For 1K node network, the flattened butterfly provides lower
+	// power consumption than the conventional butterfly since it takes
+	// advantage of the dedicated SerDes to drive local links."
+	m, p := DefaultModel(), cost.DefaultPackaging()
+	c, err := Compare(1024, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FlatFly.TotalPerNode >= c.Butterfly.TotalPerNode {
+		t.Errorf("1K: FB power (%.3fW) should be below butterfly (%.3fW)",
+			c.FlatFly.TotalPerNode, c.Butterfly.TotalPerNode)
+	}
+}
+
+func TestFig15SavingsBands(t *testing.T) {
+	// §5.3: ~48% reduction vs the folded Clos at 4K-8K (FB has 2 dims,
+	// Clos has 3 levels); smaller (paper: ~20%) beyond 8K when the FB
+	// needs a third dimension.
+	m, p := DefaultModel(), cost.DefaultPackaging()
+	mid, err := Compare(4096, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := mid.SavingsVsClos(); s < 0.40 || s > 0.65 {
+		t.Errorf("4K power savings = %.2f, want ~0.48", s)
+	}
+	big, err := Compare(16384, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := big.SavingsVsClos(); s < 0.10 || s >= mid.SavingsVsClos() {
+		t.Errorf("16K power savings = %.2f, want positive but below the 4K band (%.2f)",
+			s, mid.SavingsVsClos())
+	}
+}
+
+func TestPriceConsistency(t *testing.T) {
+	m, p := DefaultModel(), cost.DefaultPackaging()
+	b, err := cost.FlatFlyBOM(4096, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := Price(b, m, p, true)
+	if math.Abs(br.TotalPerNode-(br.SwitchPerNode+br.LinkPerNode)) > 1e-9 {
+		t.Error("total != switch + link")
+	}
+	if br.SwitchPerNode <= 0 || br.LinkPerNode <= 0 {
+		t.Errorf("power components must be positive: %+v", br)
+	}
+	// Dedicated SerDes can only reduce link power.
+	nb := Price(b, m, p, false)
+	if br.LinkPerNode > nb.LinkPerNode {
+		t.Error("dedicated SerDes should not increase link power")
+	}
+}
+
+func TestSweepAndErrors(t *testing.T) {
+	m, p := DefaultModel(), cost.DefaultPackaging()
+	rows, err := Sweep([]int{1024, 4096}, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	if _, err := Sweep([]int{1 << 40}, m, p); err == nil {
+		t.Error("impossible size accepted")
+	}
+	if c := (Comparison{}); c.SavingsVsClos() != 0 {
+		t.Error("zero comparison should report zero savings")
+	}
+}

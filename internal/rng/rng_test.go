@@ -1,0 +1,216 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical values in 100 draws", same)
+	}
+}
+
+func TestReseedMatchesNew(t *testing.T) {
+	a := New(7)
+	a.Uint64()
+	a.Reseed(99)
+	b := New(99)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Reseed stream differs from New at step %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 63, 1024} {
+		for i := 0; i < 2000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared test over 16 buckets; threshold is the 99.9% quantile of
+	// chi2 with 15 dof (~37.7), generous enough to avoid flakes while
+	// catching gross bias.
+	r := New(12345)
+	const buckets, draws = 16, 160000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 37.7 {
+		t.Fatalf("chi2 = %.2f exceeds 37.7; counts = %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Fatalf("Bernoulli(%v) rate = %v", p, got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		size := int(n%64) + 1
+		p := New(seed).Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(5)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make(map[int]bool)
+	for _, v := range vals {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", vals)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(1)
+	child := parent.Split()
+	// The child stream must not simply replay the parent stream.
+	p2 := New(1)
+	p2.Uint64() // consume the draw Split used
+	match := 0
+	for i := 0; i < 64; i++ {
+		if child.Uint64() == p2.Uint64() {
+			match++
+		}
+	}
+	if match > 2 {
+		t.Fatalf("child stream tracks parent stream (%d/64 matches)", match)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Intn(63)
+	}
+}

@@ -1,0 +1,420 @@
+// Package routing implements the routing algorithms evaluated in the
+// paper: on the flattened butterfly, minimal adaptive (MIN AD), Valiant
+// (VAL), UGAL with greedy and sequential allocation (UGAL, UGAL-S) and
+// adaptive Clos routing (CLOS AD) — §3.1; plus the baselines of Table 1:
+// destination-based routing on the conventional butterfly, adaptive
+// sequential routing on the folded Clos, and e-cube on the hypercube.
+package routing
+
+import (
+	"fmt"
+
+	"flatnet/internal/core"
+	"flatnet/internal/sim"
+	"flatnet/internal/topo"
+)
+
+// pickMin returns the index (into a caller-maintained candidate sequence)
+// of the minimum cost seen so far, breaking ties uniformly at random. Use
+// via the minPicker helper below.
+type minPicker struct {
+	view    sim.RouterView
+	best    int
+	bestArg int
+	ties    int
+}
+
+func newMinPicker(view sim.RouterView) minPicker {
+	return minPicker{view: view, best: 1 << 30, bestArg: -1}
+}
+
+// offer considers a candidate with the given cost and argument.
+func (m *minPicker) offer(cost, arg int) {
+	switch {
+	case cost < m.best:
+		m.best = cost
+		m.bestArg = arg
+		m.ties = 1
+	case cost == m.best:
+		// Reservoir sampling keeps the pick uniform among ties.
+		m.ties++
+		if m.view.RNG().Intn(m.ties) == 0 {
+			m.bestArg = arg
+		}
+	}
+}
+
+// ffBase carries shared flattened-butterfly routing helpers.
+type ffBase struct {
+	f *core.FlatFly
+}
+
+// costOnly tracks a running minimum cost where the winning argument is
+// irrelevant (queue-depth estimates for route decisions); unlike
+// minPicker it needs no tie-breaking randomness.
+type costOnly struct{ best int }
+
+func newCostOnly() costOnly { return costOnly{best: 1 << 30} }
+
+func (c *costOnly) offer(cost int) {
+	if cost < c.best {
+		c.best = cost
+	}
+}
+
+// eject returns the terminal-port decision for a packet at its
+// destination router.
+func (b ffBase) eject(p *sim.Packet) sim.OutRef {
+	return sim.OutRef{Port: b.f.TerminalIndex(p.Dst), VC: 0}
+}
+
+// bestCopyPort returns the port for (dim, digit) with the shortest queue
+// among parallel channel copies (Multiplicity is 1 in all paper
+// configurations, making this a direct lookup).
+func (b ffBase) bestCopyPort(view sim.RouterView, d, v int) (port, cost int) {
+	if b.f.Multiplicity == 1 {
+		p := b.f.PortFor(d, v, 0)
+		return p, view.QueueEstPort(p)
+	}
+	m := newMinPicker(view)
+	for c := 0; c < b.f.Multiplicity; c++ {
+		p := b.f.PortFor(d, v, c)
+		m.offer(view.QueueEstPort(p), p)
+	}
+	return m.bestArg, m.best
+}
+
+// minAdaptiveHop picks the productive channel with the shortest queue
+// (§3.1 MIN AD) for a packet at router r destined to router dst, and
+// returns the decision with VC chosen by hops remaining offset by vcBase.
+func (b ffBase) minAdaptiveHop(view sim.RouterView, r, dst topo.RouterID, vcBase int) sim.OutRef {
+	hopsLeft := 0
+	m := newMinPicker(view)
+	for d := 1; d <= b.f.Dims; d++ {
+		want := b.f.RouterDigit(dst, d)
+		if b.f.RouterDigit(r, d) == want {
+			continue
+		}
+		hopsLeft++
+		port, cost := b.bestCopyPort(view, d, want)
+		m.offer(cost, port)
+	}
+	return sim.OutRef{Port: m.bestArg, VC: vcBase + hopsLeft - 1}
+}
+
+// dorHop returns the dimension-order (lowest differing dimension first)
+// next hop toward dst: the oblivious minimal route used by VAL's phases.
+func (b ffBase) dorHop(view sim.RouterView, r, dst topo.RouterID, vc int) sim.OutRef {
+	for d := 1; d <= b.f.Dims; d++ {
+		want := b.f.RouterDigit(dst, d)
+		if b.f.RouterDigit(r, d) != want {
+			c := 0
+			if b.f.Multiplicity > 1 {
+				c = view.RNG().Intn(b.f.Multiplicity)
+			}
+			return sim.OutRef{Port: b.f.PortFor(d, want, c), VC: vc}
+		}
+	}
+	panic("routing: dorHop called with r == dst")
+}
+
+// minQueueProductive returns the queue estimate of the channel MIN AD
+// would take toward dst: the minimum over productive channels.
+func (b ffBase) minQueueProductive(view sim.RouterView, r, dst topo.RouterID) int {
+	m := newCostOnly()
+	any := false
+	for d := 1; d <= b.f.Dims; d++ {
+		want := b.f.RouterDigit(dst, d)
+		if b.f.RouterDigit(r, d) == want {
+			continue
+		}
+		any = true
+		_, cost := b.bestCopyPort(view, d, want)
+		m.offer(cost)
+	}
+	if !any {
+		return 0
+	}
+	return m.best
+}
+
+// MinAD is §3.1's minimal adaptive algorithm: at every hop, take the
+// productive channel with the shortest queue. n' VCs, selected by hops
+// remaining, prevent deadlock. Uses a greedy route allocator.
+type MinAD struct{ ffBase }
+
+// NewMinAD builds MIN AD for a flattened butterfly.
+func NewMinAD(f *core.FlatFly) *MinAD { return &MinAD{ffBase{f}} }
+
+// Name implements sim.Algorithm.
+func (a *MinAD) Name() string { return "MIN AD" }
+
+// NumVCs implements sim.Algorithm: n' VCs (at least 1).
+func (a *MinAD) NumVCs() int {
+	if a.f.Dims < 1 {
+		return 1
+	}
+	return a.f.Dims
+}
+
+// Sequential implements sim.Algorithm (greedy, per §3.1).
+func (a *MinAD) Sequential() bool { return false }
+
+// Route implements sim.Algorithm.
+func (a *MinAD) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+	r := view.Router()
+	dst := a.f.RouterOf(p.Dst)
+	if r == dst {
+		return a.eject(p)
+	}
+	return a.minAdaptiveHop(view, r, dst, 0)
+}
+
+// Valiant is §3.1's VAL: route minimally (dimension order) to a uniformly
+// random intermediate router, then minimally to the destination. Two VCs,
+// one per phase.
+type Valiant struct{ ffBase }
+
+// NewValiant builds VAL for a flattened butterfly.
+func NewValiant(f *core.FlatFly) *Valiant { return &Valiant{ffBase{f}} }
+
+// Name implements sim.Algorithm.
+func (a *Valiant) Name() string { return "VAL" }
+
+// NumVCs implements sim.Algorithm.
+func (a *Valiant) NumVCs() int { return 2 }
+
+// Sequential implements sim.Algorithm.
+func (a *Valiant) Sequential() bool { return false }
+
+// Route implements sim.Algorithm.
+func (a *Valiant) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+	r := view.Router()
+	dst := a.f.RouterOf(p.Dst)
+	if p.Phase == sim.PhaseNew {
+		p.Inter = int32(view.RNG().Intn(a.f.NumRouters))
+		p.Phase = sim.PhaseNonMinimal
+	}
+	if p.Phase == sim.PhaseNonMinimal && (topo.RouterID(p.Inter) == r || topo.RouterID(p.Inter) == dst) {
+		p.Phase = sim.PhaseMinimal
+	}
+	if p.Phase == sim.PhaseNonMinimal {
+		return a.dorHop(view, r, topo.RouterID(p.Inter), 0)
+	}
+	if r == dst {
+		return a.eject(p)
+	}
+	return a.dorHop(view, r, dst, 1)
+}
+
+// UGAL is §3.1's Universal Globally-Adaptive Load-balanced routing: each
+// packet chooses between MIN AD and VAL at its source router by comparing
+// queue-length x hop-count products. The greedy variant lets all inputs of
+// a router decide on the same stale queue snapshot in a cycle; UGAL-S
+// (sequential) updates the queue state between decisions, removing the
+// greedy transient load imbalance the paper identifies.
+type UGAL struct {
+	ffBase
+	seq bool
+}
+
+// NewUGAL builds greedy UGAL.
+func NewUGAL(f *core.FlatFly) *UGAL { return &UGAL{ffBase{f}, false} }
+
+// NewUGALS builds UGAL-S (sequential allocation).
+func NewUGALS(f *core.FlatFly) *UGAL { return &UGAL{ffBase{f}, true} }
+
+// Name implements sim.Algorithm.
+func (a *UGAL) Name() string {
+	if a.seq {
+		return "UGAL-S"
+	}
+	return "UGAL"
+}
+
+// NumVCs implements sim.Algorithm: one VC for the misrouting phase plus n'
+// hops-remaining VCs for the minimal phase.
+func (a *UGAL) NumVCs() int { return a.f.Dims + 1 }
+
+// Sequential implements sim.Algorithm.
+func (a *UGAL) Sequential() bool { return a.seq }
+
+// Route implements sim.Algorithm.
+func (a *UGAL) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+	r := view.Router()
+	dst := a.f.RouterOf(p.Dst)
+	if p.Phase == sim.PhaseNew {
+		a.decide(view, p, r, dst)
+	}
+	if p.Phase == sim.PhaseNonMinimal && topo.RouterID(p.Inter) == r {
+		p.Phase = sim.PhaseMinimal
+	}
+	if p.Phase == sim.PhaseNonMinimal {
+		return a.dorHop(view, r, topo.RouterID(p.Inter), 0)
+	}
+	if r == dst {
+		return a.eject(p)
+	}
+	return a.minAdaptiveHop(view, r, dst, 1)
+}
+
+// decide makes the source-router choice between minimal and Valiant using
+// the product of queue length and hop count as the delay estimate (§3.1).
+func (a *UGAL) decide(view sim.RouterView, p *sim.Packet, r, dst topo.RouterID) {
+	b := topo.RouterID(view.RNG().Intn(a.f.NumRouters))
+	if b == r || b == dst || r == dst {
+		p.Phase = sim.PhaseMinimal
+		return
+	}
+	hMin := a.f.MinHops(r, dst)
+	hNM := a.f.MinHops(r, b) + a.f.MinHops(b, dst)
+	qMin := a.minQueueProductive(view, r, dst)
+	// Queue of the first hop VAL would take toward b (dimension order).
+	d := a.f.DiffDims(r, b)[0]
+	_, qNM := a.bestCopyPort(view, d, a.f.RouterDigit(b, d))
+	if qMin*hMin <= qNM*hNM {
+		p.Phase = sim.PhaseMinimal
+	} else {
+		p.Phase = sim.PhaseNonMinimal
+		p.Inter = int32(b)
+	}
+}
+
+// ClosAD is §3.1's adaptive Clos routing on the flattened butterfly: like
+// UGAL it chooses minimal vs. non-minimal per packet, but a non-minimal
+// packet reaches its intermediate by traversing each (differing) dimension
+// via the channel with the shortest queue — including a "dummy queue" for
+// staying at the current coordinate — exactly as if adaptively routing to
+// the middle stage of the equivalent folded Clos. The intermediate is thus
+// chosen from the closest common ancestors, adaptively and per hop, which
+// removes the transient load imbalance of oblivious intermediate choice.
+// Always uses a sequential allocator.
+type ClosAD struct{ ffBase }
+
+// NewClosAD builds CLOS AD for a flattened butterfly.
+func NewClosAD(f *core.FlatFly) *ClosAD { return &ClosAD{ffBase{f}} }
+
+// Name implements sim.Algorithm.
+func (a *ClosAD) Name() string { return "CLOS AD" }
+
+// NumVCs implements sim.Algorithm: one ascent VC plus n' descent VCs.
+func (a *ClosAD) NumVCs() int { return a.f.Dims + 1 }
+
+// Sequential implements sim.Algorithm.
+func (a *ClosAD) Sequential() bool { return true }
+
+// Route implements sim.Algorithm.
+func (a *ClosAD) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+	r := view.Router()
+	dst := a.f.RouterOf(p.Dst)
+	if p.Phase == sim.PhaseNew {
+		a.decide(view, p, r, dst)
+	}
+	if p.Phase == sim.PhaseNonMinimal {
+		if dec, hop := a.ascend(view, p, r, dst); hop {
+			return dec
+		}
+		// Every remaining dimension chose "stay": fall through to the
+		// minimal (descent) phase.
+		p.Phase = sim.PhaseMinimal
+	}
+	if r == dst {
+		return a.eject(p)
+	}
+	return a.minAdaptiveHop(view, r, dst, 1)
+}
+
+// decide compares the best minimal queue against the best of all
+// non-minimal queues in the differing dimensions ("comparing the depth of
+// all of the non-minimal queues", §3.2).
+func (a *ClosAD) decide(view sim.RouterView, p *sim.Packet, r, dst topo.RouterID) {
+	if r == dst {
+		p.Phase = sim.PhaseMinimal
+		return
+	}
+	diff := a.f.DiffDims(r, dst)
+	hMin := len(diff)
+	qMin := a.minQueueProductive(view, r, dst)
+	m := newCostOnly()
+	for _, d := range diff {
+		own := a.f.RouterDigit(r, d)
+		for v := 0; v < a.f.K; v++ {
+			if v == own {
+				continue
+			}
+			_, cost := a.bestCopyPort(view, d, v)
+			m.offer(cost)
+		}
+	}
+	qNM := m.best
+	hNM := 2 * hMin // ascent plus descent over the differing dimensions
+	if qMin*hMin <= qNM*hNM {
+		p.Phase = sim.PhaseMinimal
+		return
+	}
+	p.Phase = sim.PhaseNonMinimal
+	mask := uint32(0)
+	for _, d := range diff {
+		mask |= 1 << uint(d)
+	}
+	p.DimMask = mask
+}
+
+// ascend processes the remaining ascent dimensions in order. For each, it
+// picks the value with the shortest queue, where "staying" costs the queue
+// of the channel the descent would later need for that dimension. It
+// returns (decision, true) when a physical hop is taken, or (_, false)
+// once every remaining dimension chose to stay.
+func (a *ClosAD) ascend(view sim.RouterView, p *sim.Packet, r, dst topo.RouterID) (sim.OutRef, bool) {
+	for p.DimMask != 0 {
+		d := lowestBit(p.DimMask)
+		p.DimMask &^= 1 << uint(d)
+		own := a.f.RouterDigit(r, d)
+		want := a.f.RouterDigit(dst, d)
+		m := newMinPicker(view)
+		stayCost := 0
+		if own != want {
+			_, stayCost = a.bestCopyPort(view, d, want)
+		}
+		m.offer(stayCost, -1) // arg -1 = stay
+		for v := 0; v < a.f.K; v++ {
+			if v == own {
+				continue
+			}
+			port, cost := a.bestCopyPort(view, d, v)
+			m.offer(cost, port)
+		}
+		if m.bestArg >= 0 {
+			return sim.OutRef{Port: m.bestArg, VC: 0}, true
+		}
+	}
+	return sim.OutRef{}, false
+}
+
+func lowestBit(m uint32) int {
+	for i := 0; i < 32; i++ {
+		if m&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// NewFlatFlyAlgorithm constructs a flattened-butterfly algorithm by name:
+// "min", "val", "ugal", "ugal-s", or "clos".
+func NewFlatFlyAlgorithm(name string, f *core.FlatFly) (sim.Algorithm, error) {
+	switch name {
+	case "min", "MIN AD":
+		return NewMinAD(f), nil
+	case "val", "VAL":
+		return NewValiant(f), nil
+	case "ugal", "UGAL":
+		return NewUGAL(f), nil
+	case "ugal-s", "UGAL-S":
+		return NewUGALS(f), nil
+	case "clos", "CLOS AD":
+		return NewClosAD(f), nil
+	default:
+		return nil, fmt.Errorf("routing: unknown flattened-butterfly algorithm %q", name)
+	}
+}

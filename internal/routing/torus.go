@@ -1,0 +1,80 @@
+package routing
+
+import (
+	"flatnet/internal/sim"
+	"flatnet/internal/topo"
+)
+
+// TorusDOR is dimension-order routing on a k-ary n-cube with the
+// classic dateline discipline: within each dimension's ring a packet
+// starts on VC 0 and moves to VC 1 after crossing the wrap-around link,
+// which breaks the ring's cyclic channel dependence. Packets always take
+// the shorter way around each ring.
+//
+// The torus is the paper's low-radix foil (§1): with router bandwidth
+// fixed, a k-ary n-cube spends it on a few wide ports and pays a large
+// hop count, where the flattened butterfly spends it on many narrow ports
+// and a one- or two-hop diameter.
+type TorusDOR struct {
+	t *topo.Torus
+}
+
+// NewTorusDOR builds dateline dimension-order torus routing.
+func NewTorusDOR(t *topo.Torus) *TorusDOR { return &TorusDOR{t} }
+
+// Name implements sim.Algorithm.
+func (a *TorusDOR) Name() string { return "torus DOR" }
+
+// NumVCs implements sim.Algorithm: two, for the dateline discipline.
+func (a *TorusDOR) NumVCs() int { return 2 }
+
+// Sequential implements sim.Algorithm.
+func (a *TorusDOR) Sequential() bool { return false }
+
+// Packet routing state, kept in Packet.DimMask:
+//
+//	bits 1..31: current dimension + 1 (0 = not started)
+//	bit 0:      dateline crossed within the current dimension
+const (
+	torusCrossedBit = 1
+	torusDimShift   = 1
+)
+
+// Route implements sim.Algorithm.
+func (a *TorusDOR) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+	r := view.Router()
+	dst := topo.RouterID(p.Dst) // one node per router
+	if r == dst {
+		return sim.OutRef{Port: 0, VC: 0}
+	}
+	for d := 0; d < a.t.N; d++ {
+		cur := a.t.Digit(r, d)
+		want := a.t.Digit(dst, d)
+		if cur == want {
+			continue
+		}
+		// Entering a new dimension resets the dateline flag.
+		if int(p.DimMask>>torusDimShift) != d+1 {
+			p.DimMask = uint32(d+1) << torusDimShift
+		}
+		_, dir := a.t.RingDistance(cur, want)
+		port := a.t.PortPlus(d)
+		if dir < 0 {
+			port = a.t.PortMinus(d)
+		}
+		vc := 0
+		if p.DimMask&torusCrossedBit != 0 {
+			vc = 1
+		}
+		// Crossing the wrap-around link (the dateline at coordinate 0 for
+		// the plus direction, k-1 for minus) switches to VC 1 for the
+		// rest of this dimension.
+		next := ((cur+dir)%a.t.K + a.t.K) % a.t.K
+		if (dir > 0 && next < cur) || (dir < 0 && next > cur) {
+			p.DimMask |= torusCrossedBit
+			vc = 1
+		}
+		return sim.OutRef{Port: port, VC: vc}
+	}
+	panic("routing: torus DOR found no differing dimension")
+}

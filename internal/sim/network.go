@@ -1,0 +1,460 @@
+package sim
+
+import (
+	"fmt"
+
+	"flatnet/internal/rng"
+	"flatnet/internal/topo"
+)
+
+// Config holds the router microarchitecture parameters of a simulation.
+type Config struct {
+	// Seed drives every random stream in the simulation. Identical seeds
+	// and configurations produce identical results.
+	Seed uint64
+	// BufPerPort is the total flit buffering per input port, divided
+	// evenly among the algorithm's virtual channels (§3.2 uses 32).
+	BufPerPort int
+	// Speedup limits how many flits one input port may forward per cycle
+	// across its VCs. 0 means unlimited — the paper's "sufficient switch
+	// speedup", which leaves channel bandwidth as the only constraint.
+	Speedup int
+	// PacketSize is the number of flits per packet (default 1, the
+	// paper's configuration; §3.2 notes packet size does not change the
+	// comparisons). Multi-flit packets use wormhole switching: the head
+	// flit routes and acquires the downstream virtual channel, body flits
+	// follow in order, and the tail flit releases the channel.
+	PacketSize int
+	// AgeArbiter switches switch allocation from round-robin to
+	// oldest-packet-first. Age-based arbitration is the classic remedy
+	// (GOAL; Singh et al., the paper's refs [27][28]) for the
+	// post-saturation throughput instability that locally-fair
+	// round-robin exhibits on multi-hop patterns such as tornado on a
+	// torus ring.
+	AgeArbiter bool
+	// RouterDelay adds a fixed per-hop pipeline delay in cycles: a flit
+	// arriving at a router becomes routable RouterDelay cycles later.
+	// 0 models the paper's single-cycle router (§3.2); real high-radix
+	// parts (YARC) have deep pipelines.
+	RouterDelay int
+}
+
+// DefaultConfig mirrors the paper's §3.2 router: 32 flits of buffering per
+// port, single-flit packets, and sufficient speedup.
+func DefaultConfig() Config {
+	return Config{Seed: 1, BufPerPort: 32, Speedup: 0, PacketSize: 1}
+}
+
+// flit is one flow-control unit of a packet.
+type flit struct {
+	pkt  *Packet
+	tail bool
+}
+
+// vcq is a fixed-capacity flit FIFO: one virtual-channel buffer. The
+// routing decision applies to the packet currently being forwarded (from
+// its head flit reaching the queue head until its tail flit departs);
+// per-VC FIFO channel order guarantees packets never interleave within
+// one input VC.
+type vcq struct {
+	buf      []flit
+	head     int
+	count    int
+	routed   bool   // current packet has a routing decision
+	headSent bool   // current packet's head flit has departed
+	out      OutRef // the decision, valid when routed
+}
+
+func (q *vcq) full() bool  { return q.count == len(q.buf) }
+func (q *vcq) empty() bool { return q.count == 0 }
+
+func (q *vcq) peek() flit { return q.buf[q.head] }
+
+func (q *vcq) push(f flit) {
+	q.buf[(q.head+q.count)%len(q.buf)] = f
+	q.count++
+}
+
+func (q *vcq) pop() flit {
+	f := q.buf[q.head]
+	q.buf[q.head] = flit{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	if f.tail {
+		q.routed = false
+		q.headSent = false
+	} else {
+		q.headSent = true
+	}
+	return f
+}
+
+type inPort struct {
+	kind     topo.PortKind
+	peer     topo.RouterID // upstream router for Network inputs
+	peerPort int
+	// creditLat is the cycles a credit takes to reach the upstream
+	// router: the reverse-channel latency (mirrors the forward channel).
+	creditLat int
+	// occ has bit v set when vcs[v] is non-empty, so the per-cycle route
+	// and switch loops skip empty buffers without touching their memory —
+	// the dominant cost on large, lightly-loaded networks. This caps the
+	// simulator at 64 VCs (checked in New).
+	occ uint64
+	vcs []vcq
+}
+
+type outPort struct {
+	kind      topo.PortKind
+	peer      topo.RouterID
+	peerPort  int
+	node      topo.NodeID
+	latency   int
+	credits   []int     // per VC free slots downstream; nil for Terminal outputs
+	pending   []int     // queue estimate per VC (routed here + in flight + downstream occupancy)
+	delta     []int     // same-cycle reservations, folded into pending after allocation
+	owner     []*Packet // per VC: packet holding the downstream VC (wormhole); nil entries mean free
+	rr        int       // round-robin pointer for switch allocation
+	nextFree  int64     // first cycle at which the channel can transmit another flit
+	flitsSent int64     // traffic counter for utilization reporting
+}
+
+type router struct {
+	id  topo.RouterID
+	in  []inPort
+	out []outPort
+	rng *rng.Source
+
+	touched []int32   // (port*vcs + vc) entries with nonzero delta this cycle
+	grants  []int16   // per-input-port grants this cycle
+	reqs    [][]int32 // per-output requester list, entries are (inport*vcs... see reqKey)
+}
+
+// event kinds for the cycle calendar.
+const (
+	evFlit uint8 = iota
+	evCredit
+	evDeliver
+)
+
+type event struct {
+	kind   uint8
+	tail   bool
+	vc     int32
+	router int32
+	port   int32
+	pkt    *Packet
+}
+
+// Network is one instantiated simulation: a topology graph, a routing
+// algorithm, router state, traffic sources, and measurement hooks.
+type Network struct {
+	g   *topo.Graph
+	alg Algorithm
+	cfg Config
+
+	vcs     int
+	vcDepth int
+
+	cycle    int64
+	routers  []router
+	sources  []source
+	calendar [][]event
+	maxLat   int
+
+	freelist []*Packet
+	nextID   int64
+
+	// Measurement state, managed by the run harnesses.
+	measStart, measEnd int64 // packets injected in [measStart, measEnd) are measured
+	statsStart         int64 // start of the channel-utilization window
+	onDeliver          func(p *Packet, cycle int64)
+	onMaterialize      func(p *Packet)
+
+	injectedTotal  int64 // packets materialized into the network
+	deliveredTotal int64 // packets fully delivered (tail flit ejected)
+	flitsInjected  int64
+	flitsDelivered int64
+	measCreated    int64
+	measDelivered  int64
+}
+
+// New builds a Network over the given channel graph. The algorithm's VC
+// count determines the per-VC buffer depth: cfg.BufPerPort / NumVCs
+// (minimum 1).
+func New(g *topo.Graph, alg Algorithm, cfg Config) (*Network, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BufPerPort < 1 {
+		return nil, fmt.Errorf("sim: BufPerPort must be >= 1, got %d", cfg.BufPerPort)
+	}
+	if cfg.PacketSize == 0 {
+		cfg.PacketSize = 1
+	}
+	if cfg.PacketSize < 1 {
+		return nil, fmt.Errorf("sim: PacketSize must be >= 1, got %d", cfg.PacketSize)
+	}
+	if cfg.RouterDelay < 0 {
+		return nil, fmt.Errorf("sim: RouterDelay must be >= 0, got %d", cfg.RouterDelay)
+	}
+	vcs := alg.NumVCs()
+	if vcs < 1 {
+		return nil, fmt.Errorf("sim: algorithm %q needs at least 1 VC", alg.Name())
+	}
+	if vcs > 64 {
+		return nil, fmt.Errorf("sim: algorithm %q needs %d VCs, more than the supported 64", alg.Name(), vcs)
+	}
+	depth := cfg.BufPerPort / vcs
+	if depth < 1 {
+		depth = 1
+	}
+	n := &Network{
+		g:         g,
+		alg:       alg,
+		cfg:       cfg,
+		vcs:       vcs,
+		vcDepth:   depth,
+		measStart: -1,
+		measEnd:   -1,
+	}
+	master := rng.New(cfg.Seed)
+	n.routers = make([]router, len(g.Routers))
+	maxLat := 1
+	for r := range g.Routers {
+		rd := &g.Routers[r]
+		rt := &n.routers[r]
+		rt.id = topo.RouterID(r)
+		rt.rng = rng.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(r+1)))
+		rt.in = make([]inPort, len(rd.In))
+		for p := range rd.In {
+			ip := &rt.in[p]
+			ip.kind = rd.In[p].Kind
+			ip.peer = rd.In[p].Peer
+			ip.peerPort = rd.In[p].PeerPort
+			if ip.kind == topo.Network {
+				ip.creditLat = g.Routers[ip.peer].Out[ip.peerPort].Latency
+			}
+			switch ip.kind {
+			case topo.Network:
+				ip.vcs = make([]vcq, vcs)
+				for v := range ip.vcs {
+					ip.vcs[v].buf = make([]flit, depth)
+				}
+			case topo.Terminal:
+				// The terminal (injection) buffer is a single logical VC
+				// holding the full per-port buffering.
+				ip.vcs = make([]vcq, 1)
+				ip.vcs[0].buf = make([]flit, cfg.BufPerPort)
+			}
+		}
+		rt.out = make([]outPort, len(rd.Out))
+		for p := range rd.Out {
+			op := &rt.out[p]
+			op.kind = rd.Out[p].Kind
+			op.peer = rd.Out[p].Peer
+			op.peerPort = rd.Out[p].PeerPort
+			op.node = rd.Out[p].Node
+			op.latency = rd.Out[p].Latency
+			if op.latency > maxLat {
+				maxLat = op.latency
+			}
+			switch op.kind {
+			case topo.Network:
+				op.credits = make([]int, vcs)
+				for v := range op.credits {
+					op.credits[v] = depth
+				}
+				op.pending = make([]int, vcs)
+				op.delta = make([]int, vcs)
+				op.owner = make([]*Packet, vcs)
+			case topo.Terminal:
+				op.pending = make([]int, vcs)
+				op.delta = make([]int, vcs)
+			}
+		}
+		rt.grants = make([]int16, len(rd.In))
+		rt.reqs = make([][]int32, len(rd.Out))
+	}
+	n.maxLat = maxLat
+	// The calendar ring must cover the worst-case scheduling horizon: the
+	// channel latency plus router pipeline delay plus the per-channel
+	// staging backlog, which credits bound to the downstream per-port
+	// buffering.
+	n.calendar = make([][]event, maxLat+cfg.RouterDelay+cfg.BufPerPort+2)
+	n.sources = make([]source, g.NumNodes)
+	for i := range n.sources {
+		n.sources[i].node = topo.NodeID(i)
+		n.sources[i].rng = master.Split()
+	}
+	_ = master
+	return n, nil
+}
+
+// Cycle returns the current simulation time.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// NumNodes returns the number of terminals.
+func (n *Network) NumNodes() int { return n.g.NumNodes }
+
+// VCs returns the virtual-channel count in use.
+func (n *Network) VCs() int { return n.vcs }
+
+// VCDepth returns the per-VC buffer depth in flits.
+func (n *Network) VCDepth() int { return n.vcDepth }
+
+// allocPacket takes a packet from the freelist or allocates one.
+func (n *Network) allocPacket() *Packet {
+	if len(n.freelist) > 0 {
+		p := n.freelist[len(n.freelist)-1]
+		n.freelist = n.freelist[:len(n.freelist)-1]
+		p.reset()
+		return p
+	}
+	return &Packet{Inter: -1}
+}
+
+func (n *Network) freePacket(p *Packet) {
+	n.freelist = append(n.freelist, p)
+}
+
+func (n *Network) schedule(delay int, ev event) {
+	slot := (n.cycle + int64(delay)) % int64(len(n.calendar))
+	n.calendar[slot] = append(n.calendar[slot], ev)
+}
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	n.processEvents()
+	n.inject()
+	n.routeAllocate()
+	n.switchAllocate()
+	n.cycle++
+}
+
+// processEvents applies flit arrivals, credit returns and deliveries
+// scheduled for the current cycle.
+func (n *Network) processEvents() {
+	slot := n.cycle % int64(len(n.calendar))
+	evs := n.calendar[slot]
+	n.calendar[slot] = evs[:0]
+	for _, ev := range evs {
+		switch ev.kind {
+		case evFlit:
+			ip := &n.routers[ev.router].in[ev.port]
+			ip.vcs[ev.vc].push(flit{pkt: ev.pkt, tail: ev.tail})
+			ip.occ |= 1 << uint(ev.vc)
+		case evCredit:
+			op := &n.routers[ev.router].out[ev.port]
+			op.credits[ev.vc]++
+			op.pending[ev.vc]--
+		case evDeliver:
+			n.flitsDelivered++
+			if !ev.tail {
+				break
+			}
+			n.deliveredTotal++
+			if ev.pkt.Measured {
+				n.measDelivered++
+			}
+			if n.onDeliver != nil {
+				n.onDeliver(ev.pkt, n.cycle)
+			}
+			n.freePacket(ev.pkt)
+		}
+	}
+}
+
+// inject moves flits from source backlogs into their routers' terminal
+// input buffers, one flit per node per cycle (terminal channel
+// bandwidth). Multi-flit packets stream over PacketSize cycles.
+func (n *Network) inject() {
+	size := n.cfg.PacketSize
+	for i := range n.sources {
+		s := &n.sources[i]
+		if s.cur == nil {
+			if s.backlogLen() == 0 || s.peekTS() > n.cycle {
+				continue // empty, or the next (trace) arrival is in the future
+			}
+			a := s.pop()
+			p := n.allocPacket()
+			p.ID = n.nextID
+			n.nextID++
+			p.Src = s.node
+			if a.hasDst {
+				p.Dst = a.dst
+			} else {
+				p.Dst = s.draw()
+			}
+			p.Phase = PhaseNew
+			p.InjectCycle = a.ts
+			p.NetworkCycle = n.cycle
+			p.Measured = a.ts >= n.measStart && a.ts < n.measEnd
+			s.cur = p
+			s.remaining = size
+			n.injectedTotal++
+			if n.onMaterialize != nil {
+				n.onMaterialize(p)
+			}
+		}
+		r := n.g.NodeRouter[s.node]
+		ip := &n.routers[r].in[n.g.InjPort[s.node]]
+		q := &ip.vcs[0]
+		if q.full() {
+			continue
+		}
+		s.remaining--
+		q.push(flit{pkt: s.cur, tail: s.remaining == 0})
+		ip.occ |= 1
+		n.flitsInjected++
+		if s.remaining == 0 {
+			s.cur = nil
+		}
+	}
+}
+
+// PacketSize returns the configured flits per packet.
+func (n *Network) PacketSize() int { return n.cfg.PacketSize }
+
+// Inventory counts every flit currently alive inside the simulator:
+// buffered in routers plus in flight on channels (including flits whose
+// delivery event is pending). Used by conservation tests.
+func (n *Network) Inventory() (buffered, inFlight int) {
+	for r := range n.routers {
+		for p := range n.routers[r].in {
+			for v := range n.routers[r].in[p].vcs {
+				buffered += n.routers[r].in[p].vcs[v].count
+			}
+		}
+	}
+	for _, evs := range n.calendar {
+		for _, ev := range evs {
+			if ev.kind == evFlit || ev.kind == evDeliver {
+				inFlight++
+			}
+		}
+	}
+	return buffered, inFlight
+}
+
+// Totals returns lifetime counters: packets materialized into the network
+// and packets fully delivered.
+func (n *Network) Totals() (injected, delivered int64) {
+	return n.injectedTotal, n.deliveredTotal
+}
+
+// FlitTotals returns lifetime flit counters: flits that entered a
+// terminal input buffer and flits that left an ejection channel.
+func (n *Network) FlitTotals() (injected, delivered int64) {
+	return n.flitsInjected, n.flitsDelivered
+}
+
+// Backlog returns the number of generated-but-not-yet-materialized packets
+// waiting in source queues.
+func (n *Network) Backlog() int64 {
+	var b int64
+	for i := range n.sources {
+		b += int64(n.sources[i].backlogLen())
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math/bits"
+
+	"flatnet/internal/rng"
+	"flatnet/internal/topo"
+)
+
+// routeAllocate runs route computation for every un-routed buffer head.
+// Greedy allocation reads start-of-cycle estimates; sequential allocation
+// additionally sees the reservations (delta) of decisions made earlier in
+// the same cycle, in input-port order (§3.1).
+func (n *Network) routeAllocate() {
+	seq := n.alg.Sequential()
+	for r := range n.routers {
+		rt := &n.routers[r]
+		view := routerView{n: n, rt: rt, seq: seq}
+		for p := range rt.in {
+			ip := &rt.in[p]
+			for occ := ip.occ; occ != 0; occ &= occ - 1 {
+				v := bits.TrailingZeros64(occ)
+				q := &ip.vcs[v]
+				if q.routed {
+					continue
+				}
+				dec := n.alg.Route(view, q.peek().pkt)
+				q.out = dec
+				q.routed = true
+				// Queue estimates are in flits: reserve the whole packet.
+				op := &rt.out[dec.Port]
+				op.delta[dec.VC] += n.cfg.PacketSize
+				rt.touched = append(rt.touched, int32(dec.Port)*int32(n.vcs)+int32(dec.VC))
+			}
+		}
+		// Fold this cycle's reservations into the stable estimates.
+		for _, t := range rt.touched {
+			port, vc := int(t)/n.vcs, int(t)%n.vcs
+			rt.out[port].pending[vc] += rt.out[port].delta[vc]
+			rt.out[port].delta[vc] = 0
+		}
+		rt.touched = rt.touched[:0]
+	}
+}
+
+// routerView implements RouterView.
+type routerView struct {
+	n   *Network
+	rt  *router
+	seq bool
+}
+
+func (v routerView) Cycle() int64          { return v.n.cycle }
+func (v routerView) Router() topo.RouterID { return v.rt.id }
+func (v routerView) RNG() *rng.Source      { return v.rt.rng }
+
+func (v routerView) QueueEst(port, vc int) int {
+	op := &v.rt.out[port]
+	if v.seq {
+		return op.pending[vc] + op.delta[vc]
+	}
+	return op.pending[vc]
+}
+
+func (v routerView) QueueEstPort(port int) int {
+	op := &v.rt.out[port]
+	s := 0
+	for vc := range op.pending {
+		s += op.pending[vc]
+		if v.seq {
+			s += op.delta[vc]
+		}
+	}
+	return s
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+
+	"flatnet/internal/stats"
+	"flatnet/internal/topo"
+	"flatnet/internal/traffic"
+)
+
+// RunConfig describes one open-loop measurement: warm the network up at
+// the offered load, label the packets injected during a measurement
+// window, and run until every labeled packet has left the system (§3.2).
+type RunConfig struct {
+	// Load is the offered load in flits per node per cycle (fraction of
+	// capacity for unit-capacity networks).
+	Load float64
+	// Pattern generates destinations.
+	Pattern traffic.Pattern
+	// Warmup, Measure are window lengths in cycles.
+	Warmup, Measure int
+	// MaxCycles bounds the total simulation; if labeled packets have not
+	// drained by then the run reports Saturated. 0 picks a default.
+	MaxCycles int
+	// Burst, when non-nil, switches injection from Bernoulli to the
+	// on/off bursty process of Network.GenerateOnOff at the same average
+	// load.
+	Burst *BurstConfig
+}
+
+// BurstConfig parameterizes on/off injection for RunLoadPoint.
+type BurstConfig struct {
+	// Peak is the ON-state injection rate in flits per node per cycle.
+	Peak float64
+	// AvgBurst is the mean ON-state duration in cycles.
+	AvgBurst float64
+}
+
+// LoadPointResult reports one (topology, algorithm, pattern, load) sample.
+type LoadPointResult struct {
+	Load float64
+	// AvgLatency is the mean cycles from source-queue arrival to delivery
+	// over measured packets.
+	AvgLatency float64
+	// P99Latency is the 99th-percentile latency in cycles.
+	P99Latency int
+	// AvgHops is the mean inter-router hop count of measured packets.
+	AvgHops float64
+	// AcceptedRate is delivered flits per node per cycle over the
+	// measurement window: the throughput actually sustained.
+	AcceptedRate float64
+	// Saturated reports that labeled packets failed to drain within
+	// MaxCycles: the network cannot sustain the offered load.
+	Saturated bool
+	// MeasuredCreated/MeasuredDelivered count labeled packets.
+	MeasuredCreated   int64
+	MeasuredDelivered int64
+	// Cycles is the total simulated cycle count.
+	Cycles int64
+}
+
+// RunLoadPoint executes the §3.2 methodology on a fresh Network.
+func RunLoadPoint(g *topo.Graph, alg Algorithm, cfg Config, rc RunConfig) (LoadPointResult, error) {
+	if rc.Load < 0 || rc.Load > 1 {
+		return LoadPointResult{}, fmt.Errorf("sim: load %v out of [0,1]", rc.Load)
+	}
+	if rc.Warmup <= 0 || rc.Measure <= 0 {
+		return LoadPointResult{}, fmt.Errorf("sim: warmup and measure windows must be positive")
+	}
+	maxCycles := rc.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 20 * (rc.Warmup + rc.Measure)
+	}
+	n, err := New(g, alg, cfg)
+	if err != nil {
+		return LoadPointResult{}, err
+	}
+	n.SetPattern(rc.Pattern)
+	measStart := int64(rc.Warmup)
+	measEnd := int64(rc.Warmup + rc.Measure)
+	n.SetMeasurementWindow(measStart, measEnd)
+
+	latHist := stats.NewHistogram(16384)
+	var hops stats.Accumulator
+	deliveredInWindow := int64(0)
+	n.OnDeliver(func(p *Packet, cycle int64) {
+		if cycle >= measStart && cycle < measEnd {
+			deliveredInWindow++
+		}
+		if p.Measured {
+			latHist.Add(int(cycle - p.InjectCycle))
+			hops.Add(float64(p.Hops))
+		}
+	})
+
+	res := LoadPointResult{Load: rc.Load}
+	for {
+		if rc.Burst != nil {
+			if err := n.GenerateOnOff(rc.Load, rc.Burst.Peak, rc.Burst.AvgBurst); err != nil {
+				return LoadPointResult{}, err
+			}
+		} else {
+			n.GenerateBernoulli(rc.Load)
+		}
+		n.Step()
+		c := n.Cycle()
+		if c >= measEnd {
+			created, delivered := n.MeasuredCounts()
+			if delivered >= created {
+				break
+			}
+		}
+		if c >= int64(maxCycles) {
+			res.Saturated = true
+			break
+		}
+	}
+	created, delivered := n.MeasuredCounts()
+	res.MeasuredCreated = created
+	res.MeasuredDelivered = delivered
+	res.AvgLatency = latHist.Mean()
+	res.P99Latency = latHist.Percentile(0.99)
+	res.AvgHops = hops.Mean()
+	res.AcceptedRate = float64(deliveredInWindow) * float64(n.PacketSize()) /
+		(float64(n.NumNodes()) * float64(rc.Measure))
+	res.Cycles = n.Cycle()
+	return res, nil
+}
+
+// LoadSweep runs RunLoadPoint across the given offered loads and returns
+// one result per load, in order. Sweeps stop early once two consecutive
+// points saturate, since higher loads will as well; the remaining entries
+// are returned marked Saturated with zero latency.
+func LoadSweep(g *topo.Graph, alg Algorithm, cfg Config, rc RunConfig, loads []float64) ([]LoadPointResult, error) {
+	out := make([]LoadPointResult, 0, len(loads))
+	saturatedRun := 0
+	for _, l := range loads {
+		if saturatedRun >= 2 {
+			out = append(out, LoadPointResult{Load: l, Saturated: true})
+			continue
+		}
+		p := rc
+		p.Load = l
+		r, err := RunLoadPoint(g, alg, cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		if r.Saturated {
+			saturatedRun++
+		} else {
+			saturatedRun = 0
+		}
+	}
+	return out, nil
+}
+
+// SaturationThroughput measures the accepted rate at full offered load —
+// the conventional saturation-throughput figure (e.g. MIN AD sustaining
+// ~1/32 of capacity on the worst-case pattern while non-minimal
+// algorithms sustain ~50%, Fig. 4(b)).
+func SaturationThroughput(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, warmup, measure int) (float64, error) {
+	rc := RunConfig{
+		Load:      1.0,
+		Pattern:   pattern,
+		Warmup:    warmup,
+		Measure:   measure,
+		MaxCycles: warmup + measure + 1, // no drain needed: we want the rate only
+	}
+	r, err := RunLoadPoint(g, alg, cfg, rc)
+	if err != nil {
+		return 0, err
+	}
+	return r.AcceptedRate, nil
+}
+
+// BatchResult reports one batch experiment (Fig. 5): every node injects
+// BatchSize packets starting at cycle 0 and the network runs until all are
+// delivered.
+type BatchResult struct {
+	BatchSize int
+	// CompletionCycles is the cycle at which the last packet delivered.
+	CompletionCycles int64
+	// NormalizedLatency is CompletionCycles / BatchSize. As batch size
+	// grows this approaches the inverse of the algorithm's sustained
+	// throughput; at small batches it exposes transient load imbalance.
+	NormalizedLatency float64
+}
+
+// RunBatch executes the Fig. 5 batch experiment.
+func RunBatch(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, batchSize, maxCycles int) (BatchResult, error) {
+	if batchSize < 1 {
+		return BatchResult{}, fmt.Errorf("sim: batch size must be >= 1")
+	}
+	if maxCycles <= 0 {
+		maxCycles = 1000 * batchSize
+	}
+	n, err := New(g, alg, cfg)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	n.SetPattern(pattern)
+	n.SeedBatch(batchSize)
+	total := int64(batchSize) * int64(n.NumNodes())
+	for {
+		n.Step()
+		_, delivered := n.Totals()
+		if delivered >= total {
+			break
+		}
+		if n.Cycle() >= int64(maxCycles) {
+			return BatchResult{}, fmt.Errorf("sim: batch of %d did not complete within %d cycles (%s)",
+				batchSize, maxCycles, alg.Name())
+		}
+	}
+	res := BatchResult{
+		BatchSize:         batchSize,
+		CompletionCycles:  n.Cycle(),
+		NormalizedLatency: float64(n.Cycle()) / float64(batchSize),
+	}
+	return res, nil
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"testing"
+
+	"flatnet/internal/core"
+	"flatnet/internal/topo"
+	"flatnet/internal/traffic"
+)
+
+// minimalAlg is a tiny test algorithm for a 1-D flattened butterfly:
+// direct minimal routing, 1 VC, greedy.
+type minimalAlg struct{ f *core.FlatFly }
+
+func (a *minimalAlg) Name() string     { return "test-min" }
+func (a *minimalAlg) NumVCs() int      { return 1 }
+func (a *minimalAlg) Sequential() bool { return false }
+func (a *minimalAlg) Route(view RouterView, p *Packet) OutRef {
+	r := view.Router()
+	dst := a.f.RouterOf(p.Dst)
+	if r == dst {
+		return OutRef{Port: a.f.TerminalIndex(p.Dst), VC: 0}
+	}
+	d := a.f.DiffDims(r, dst)[0]
+	return OutRef{Port: a.f.PortFor(d, a.f.RouterDigit(dst, d), 0), VC: 0}
+}
+
+func testFF(t *testing.T, k, n int) *core.FlatFly {
+	t.Helper()
+	f, err := core.NewFlatFly(k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSinglePacketDelivery(t *testing.T) {
+	f := testFF(t, 4, 2)
+	alg := &minimalAlg{f}
+	n, err := New(f.Graph(), alg, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 -> node 15 (router 0 -> router 3): fixed pattern.
+	n.SetPattern(traffic.NewFixed("single", func() []topo.NodeID {
+		tab := make([]topo.NodeID, 16)
+		for i := range tab {
+			tab[i] = 15
+		}
+		return tab
+	}()))
+	var deliveredAt int64 = -1
+	var got *Packet
+	n.OnDeliver(func(p *Packet, cycle int64) {
+		cp := *p
+		got = &cp
+		deliveredAt = cycle
+	})
+	n.sources[0].pushTimestamp(0)
+	for i := 0; i < 20 && deliveredAt < 0; i++ {
+		n.Step()
+	}
+	if deliveredAt < 0 {
+		t.Fatal("packet not delivered within 20 cycles")
+	}
+	if got.Src != 0 || got.Dst != 15 {
+		t.Fatalf("wrong packet delivered: %+v", got)
+	}
+	if got.Hops != 1 {
+		t.Fatalf("hops = %d, want 1", got.Hops)
+	}
+	// Injection cycle 0; inject->route->switch at cycle 0; channel 1 cycle;
+	// route+switch at router 3 at cycle 1; ejection channel 1 cycle ->
+	// delivered at cycle 2.
+	if deliveredAt != 2 {
+		t.Fatalf("delivered at cycle %d, want 2", deliveredAt)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	// Destination on the same router: zero network hops.
+	f := testFF(t, 4, 2)
+	n, err := New(f.Graph(), &minimalAlg{f}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := make([]topo.NodeID, 16)
+	tab[0] = 1
+	n.SetPattern(traffic.NewFixed("local", tab))
+	hops := -1
+	n.OnDeliver(func(p *Packet, _ int64) { hops = p.Hops })
+	n.sources[0].pushTimestamp(0)
+	for i := 0; i < 10 && hops < 0; i++ {
+		n.Step()
+	}
+	if hops != 0 {
+		t.Fatalf("local delivery hops = %d, want 0", hops)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	f := testFF(t, 4, 2)
+	n, err := New(f.Graph(), &minimalAlg{f}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetPattern(traffic.NewUniform(16))
+	for i := 0; i < 500; i++ {
+		n.GenerateBernoulli(0.5)
+		n.Step()
+		if i%100 != 0 {
+			continue
+		}
+		injected, delivered := n.FlitTotals()
+		buffered, inFlight := n.Inventory()
+		if injected != delivered+int64(buffered)+int64(inFlight) {
+			t.Fatalf("cycle %d: flit conservation violated: injected=%d delivered=%d buffered=%d inflight=%d",
+				i, injected, delivered, buffered, inFlight)
+		}
+	}
+}
+
+func TestDrainAfterStop(t *testing.T) {
+	f := testFF(t, 4, 2)
+	n, err := New(f.Graph(), &minimalAlg{f}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetPattern(traffic.NewUniform(16))
+	for i := 0; i < 200; i++ {
+		n.GenerateBernoulli(0.4)
+		n.Step()
+	}
+	// Stop injecting; everything must drain.
+	for i := 0; i < 500; i++ {
+		n.Step()
+	}
+	injected, delivered := n.Totals()
+	if injected != delivered {
+		t.Fatalf("network did not drain: injected=%d delivered=%d backlog=%d", injected, delivered, n.Backlog())
+	}
+	buffered, inFlight := n.Inventory()
+	if buffered != 0 || inFlight != 0 {
+		t.Fatalf("residual occupancy: buffered=%d inflight=%d", buffered, inFlight)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	f := testFF(t, 4, 2)
+	run := func() (int64, int64) {
+		n, err := New(f.Graph(), &minimalAlg{f}, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.SetPattern(traffic.NewUniform(16))
+		var latSum int64
+		n.OnDeliver(func(p *Packet, cycle int64) { latSum += cycle - p.InjectCycle })
+		for i := 0; i < 300; i++ {
+			n.GenerateBernoulli(0.6)
+			n.Step()
+		}
+		_, delivered := n.Totals()
+		return delivered, latSum
+	}
+	d1, l1 := run()
+	d2, l2 := run()
+	if d1 != d2 || l1 != l2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", d1, l1, d2, l2)
+	}
+	if d1 == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestRunLoadPointLowLoad(t *testing.T) {
+	f := testFF(t, 4, 2)
+	res, err := RunLoadPoint(f.Graph(), &minimalAlg{f}, DefaultConfig(), RunConfig{
+		Load:    0.2,
+		Pattern: traffic.NewUniform(16),
+		Warmup:  300,
+		Measure: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Fatal("low load reported saturated")
+	}
+	if res.MeasuredDelivered != res.MeasuredCreated || res.MeasuredCreated == 0 {
+		t.Fatalf("measured packets not drained: %d/%d", res.MeasuredDelivered, res.MeasuredCreated)
+	}
+	// Zero-load latency is ~2-3 cycles; at 20% load it should stay small.
+	if res.AvgLatency < 1 || res.AvgLatency > 10 {
+		t.Fatalf("implausible latency %v", res.AvgLatency)
+	}
+	if res.AcceptedRate < 0.17 || res.AcceptedRate > 0.23 {
+		t.Fatalf("accepted rate %v, want ~0.2", res.AcceptedRate)
+	}
+	if res.AvgHops < 0.5 || res.AvgHops > 1.0 {
+		t.Fatalf("avg hops %v, want in (0.5, 1.0) for 1-D uniform", res.AvgHops)
+	}
+}
+
+func TestRunLoadPointValidation(t *testing.T) {
+	f := testFF(t, 4, 2)
+	if _, err := RunLoadPoint(f.Graph(), &minimalAlg{f}, DefaultConfig(), RunConfig{
+		Load: 1.5, Pattern: traffic.NewUniform(16), Warmup: 10, Measure: 10,
+	}); err == nil {
+		t.Error("load > 1 accepted")
+	}
+	if _, err := RunLoadPoint(f.Graph(), &minimalAlg{f}, DefaultConfig(), RunConfig{
+		Load: 0.5, Pattern: traffic.NewUniform(16),
+	}); err == nil {
+		t.Error("zero windows accepted")
+	}
+	if _, err := New(f.Graph(), &minimalAlg{f}, Config{Seed: 1, BufPerPort: 0}); err == nil {
+		t.Error("zero buffer accepted")
+	}
+}
+
+func TestMinimalSaturatesAtOneOverKOnWC(t *testing.T) {
+	// The Fig 4(b) headline in miniature: minimal routing on the
+	// worst-case pattern sustains ~1/k of capacity (here k=4 -> 25%).
+	f := testFF(t, 4, 2)
+	thpt, err := SaturationThroughput(f.Graph(), &minimalAlg{f}, DefaultConfig(),
+		traffic.NewWorstCase(f.K, f.NumRouters), 500, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thpt < 0.18 || thpt > 0.32 {
+		t.Fatalf("WC minimal throughput = %v, want ~0.25", thpt)
+	}
+}
+
+func TestMinimalFullThroughputOnUR(t *testing.T) {
+	f := testFF(t, 4, 2)
+	thpt, err := SaturationThroughput(f.Graph(), &minimalAlg{f}, DefaultConfig(),
+		traffic.NewUniform(f.NumNodes), 500, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thpt < 0.9 {
+		t.Fatalf("UR minimal throughput = %v, want ~1.0", thpt)
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	f := testFF(t, 4, 2)
+	res, err := RunBatch(f.Graph(), &minimalAlg{f}, DefaultConfig(),
+		traffic.NewUniform(f.NumNodes), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionCycles < 8 {
+		t.Fatalf("batch finished impossibly fast: %d cycles", res.CompletionCycles)
+	}
+	if res.NormalizedLatency < 1 || res.NormalizedLatency > 20 {
+		t.Fatalf("normalized latency %v out of plausible range", res.NormalizedLatency)
+	}
+	if _, err := RunBatch(f.Graph(), &minimalAlg{f}, DefaultConfig(), traffic.NewUniform(16), 0, 0); err == nil {
+		t.Error("batch size 0 accepted")
+	}
+}
+
+func TestLoadSweepStopsAfterSaturation(t *testing.T) {
+	f := testFF(t, 4, 2)
+	loads := []float64{0.1, 0.5, 0.9, 0.95, 1.0}
+	res, err := LoadSweep(f.Graph(), &minimalAlg{f}, DefaultConfig(), RunConfig{
+		Pattern:   traffic.NewWorstCase(f.K, f.NumRouters),
+		Warmup:    200,
+		Measure:   200,
+		MaxCycles: 900,
+	}, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(loads) {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].Saturated {
+		t.Fatal("10% load saturated on WC with k=4 (limit is 25%)")
+	}
+	if !res[4].Saturated {
+		t.Fatal("100% load did not saturate on WC minimal routing")
+	}
+}
+
+func TestVCDepthDivision(t *testing.T) {
+	f := testFF(t, 4, 2)
+	n, err := New(f.Graph(), &minimalAlg{f}, Config{Seed: 1, BufPerPort: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.VCs() != 1 || n.VCDepth() != 32 {
+		t.Fatalf("vcs=%d depth=%d, want 1/32", n.VCs(), n.VCDepth())
+	}
+}

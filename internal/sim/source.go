@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+
+	"flatnet/internal/rng"
+	"flatnet/internal/topo"
+	"flatnet/internal/traffic"
+)
+
+// source is one terminal's packet generator. Arrivals are recorded as
+// timestamps only; the packet itself (including its destination draw) is
+// materialized when it reaches the head of the source queue and space
+// exists in the router's terminal input buffer. For stochastic patterns
+// this is statistically identical to drawing at arrival time and keeps
+// memory proportional to backlog length, not packet size.
+type source struct {
+	node    topo.NodeID
+	rng     *rng.Source
+	pattern traffic.Pattern
+
+	// cur is the packet currently streaming its flits into the terminal
+	// input buffer; remaining counts its flits yet to inject.
+	cur       *Packet
+	remaining int
+
+	// burstOn is the on/off (two-state Markov) injection state used by
+	// GenerateOnOff.
+	burstOn bool
+
+	// backlog of pending arrivals, stored as a sliding window.
+	q    []arrival
+	head int
+}
+
+// arrival is one generated-but-not-yet-materialized packet. Pattern-based
+// arrivals draw their destination at materialization time; trace-based
+// arrivals carry it explicitly.
+type arrival struct {
+	ts     int64
+	dst    topo.NodeID
+	hasDst bool
+}
+
+func (s *source) backlogLen() int { return len(s.q) - s.head }
+
+func (s *source) push(a arrival) {
+	// Compact occasionally so memory stays proportional to backlog.
+	if s.head > 1024 && s.head*2 > len(s.q) {
+		n := copy(s.q, s.q[s.head:])
+		s.q = s.q[:n]
+		s.head = 0
+	}
+	s.q = append(s.q, a)
+}
+
+func (s *source) pushTimestamp(t int64) { s.push(arrival{ts: t}) }
+
+func (s *source) pushTraced(t int64, dst topo.NodeID) {
+	s.push(arrival{ts: t, dst: dst, hasDst: true})
+}
+
+func (s *source) peekTS() int64 { return s.q[s.head].ts }
+
+func (s *source) pop() arrival {
+	a := s.q[s.head]
+	s.head++
+	if s.head == len(s.q) {
+		s.q = s.q[:0]
+		s.head = 0
+	}
+	return a
+}
+
+func (s *source) draw() topo.NodeID {
+	return s.pattern.Dest(s.node, s.rng)
+}
+
+// SetPattern installs the traffic pattern used to draw destinations.
+func (n *Network) SetPattern(p traffic.Pattern) {
+	for i := range n.sources {
+		n.sources[i].pattern = p
+	}
+}
+
+// GenerateBernoulli performs one cycle's worth of Bernoulli packet
+// arrivals at every node. load is the offered load in flits per node per
+// cycle, so the per-cycle packet arrival probability is load/PacketSize.
+// Call once per cycle before Step, or use the run harnesses which do this
+// for you.
+func (n *Network) GenerateBernoulli(load float64) {
+	c := n.cycle
+	p := load / float64(n.cfg.PacketSize)
+	for i := range n.sources {
+		s := &n.sources[i]
+		if s.rng.Bernoulli(p) {
+			s.pushTimestamp(c)
+			if c >= n.measStart && c < n.measEnd {
+				n.measCreated++
+			}
+		}
+	}
+}
+
+// GenerateOnOff performs one cycle of bursty (two-state Markov modulated)
+// packet arrivals: each source alternates between an ON state, injecting
+// at peak flits per node per cycle, and a silent OFF state, such that the
+// long-run average offered load is load and the mean burst length is
+// avgBurst cycles. Bursty arrivals stress the transient load-balancing
+// behaviour that the paper's Fig. 5 batch experiments probe.
+func (n *Network) GenerateOnOff(load, peak, avgBurst float64) error {
+	if peak <= 0 || peak > 1 {
+		return fmt.Errorf("sim: peak rate %v out of (0,1]", peak)
+	}
+	if load < 0 || load > peak {
+		return fmt.Errorf("sim: load %v out of [0, peak=%v]", load, peak)
+	}
+	if avgBurst < 1 {
+		return fmt.Errorf("sim: average burst length %v must be >= 1 cycle", avgBurst)
+	}
+	pOn := load / peak // stationary probability of the ON state
+	exitOn := 1 / avgBurst
+	var enterOn float64
+	if pOn < 1 {
+		enterOn = exitOn * pOn / (1 - pOn)
+		if enterOn > 1 {
+			enterOn = 1
+		}
+	} else {
+		enterOn = 1
+	}
+	c := n.cycle
+	pkt := peak / float64(n.cfg.PacketSize)
+	for i := range n.sources {
+		s := &n.sources[i]
+		if s.burstOn {
+			if s.rng.Bernoulli(exitOn) {
+				s.burstOn = false
+			}
+		} else if s.rng.Bernoulli(enterOn) {
+			s.burstOn = true
+		}
+		if s.burstOn && s.rng.Bernoulli(pkt) {
+			s.pushTimestamp(c)
+			if c >= n.measStart && c < n.measEnd {
+				n.measCreated++
+			}
+		}
+	}
+	return nil
+}
+
+// SeedBatch places batch arrivals (timestamped at the current cycle) into
+// every source queue, for the batch experiments of Fig. 5.
+func (n *Network) SeedBatch(perNode int) {
+	c := n.cycle
+	for i := range n.sources {
+		s := &n.sources[i]
+		for j := 0; j < perNode; j++ {
+			s.pushTimestamp(c)
+		}
+	}
+}
+
+// SetMeasurementWindow marks packets whose arrival timestamps fall in
+// [start, end) as measured.
+func (n *Network) SetMeasurementWindow(start, end int64) {
+	n.measStart, n.measEnd = start, end
+}
+
+// MeasuredCounts returns how many measured packets have been generated and
+// delivered so far.
+func (n *Network) MeasuredCounts() (created, delivered int64) {
+	return n.measCreated, n.measDelivered
+}
+
+// OnDeliver installs a delivery callback invoked for every delivered
+// packet (measured or not) before the packet is recycled. The callback
+// must not retain the packet.
+func (n *Network) OnDeliver(f func(p *Packet, cycle int64)) {
+	n.onDeliver = f
+}

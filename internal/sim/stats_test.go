@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+
+	"flatnet/internal/topo"
+	"flatnet/internal/traffic"
+)
+
+func TestChannelLoadsConservation(t *testing.T) {
+	f := testFF(t, 4, 2)
+	n, err := New(f.Graph(), &minimalAlg{f}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetPattern(traffic.NewUniform(16))
+	for i := 0; i < 500; i++ {
+		n.GenerateBernoulli(0.4)
+		n.Step()
+	}
+	var termFlits int64
+	for _, c := range n.ChannelLoads() {
+		if c.Utilization < 0 || c.Utilization > 1.000001 {
+			t.Fatalf("channel %d.%d utilization %v out of [0,1]", c.Router, c.Port, c.Utilization)
+		}
+		if c.Kind == topo.Terminal {
+			termFlits += c.Flits
+		}
+	}
+	// Every delivered flit left through a terminal channel.
+	_, flitsDelivered := n.FlitTotals()
+	// Some flits may still be on ejection channels (sent, not yet
+	// delivered), so termFlits >= delivered.
+	if termFlits < flitsDelivered {
+		t.Fatalf("terminal channel flits %d < delivered %d", termFlits, flitsDelivered)
+	}
+	if termFlits == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+func TestLoadImbalanceDistinguishesPatterns(t *testing.T) {
+	// The worst-case pattern under minimal routing piles all traffic on
+	// one channel per router (imbalance ratio ~ number of channels); the
+	// uniform pattern spreads it evenly (ratio near 1).
+	f := testFF(t, 8, 2)
+	run := func(p traffic.Pattern) float64 {
+		n, err := New(f.Graph(), &minimalAlg{f}, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.SetPattern(p)
+		for i := 0; i < 200; i++ {
+			n.GenerateBernoulli(0.1)
+			n.Step()
+		}
+		n.ResetChannelStats()
+		for i := 0; i < 800; i++ {
+			n.GenerateBernoulli(0.1)
+			n.Step()
+		}
+		_, _, ratio := n.LoadImbalance()
+		return ratio
+	}
+	urRatio := run(traffic.NewUniform(f.NumNodes))
+	wcRatio := run(traffic.NewWorstCase(f.K, f.NumRouters))
+	if urRatio > 2.0 {
+		t.Errorf("uniform imbalance ratio = %.2f, want near 1", urRatio)
+	}
+	if wcRatio < 5.0 {
+		t.Errorf("worst-case minimal imbalance ratio = %.2f, want ~7 (all load on 1 of 7 channels)", wcRatio)
+	}
+}
+
+func TestResetChannelStats(t *testing.T) {
+	f := testFF(t, 4, 2)
+	n, err := New(f.Graph(), &minimalAlg{f}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetPattern(traffic.NewUniform(16))
+	for i := 0; i < 200; i++ {
+		n.GenerateBernoulli(0.5)
+		n.Step()
+	}
+	n.ResetChannelStats()
+	for _, c := range n.ChannelLoads() {
+		if c.Flits != 0 {
+			t.Fatalf("channel %d.%d has %d flits after reset", c.Router, c.Port, c.Flits)
+		}
+	}
+	max, mean, _ := n.LoadImbalance()
+	if max != 0 || mean != 0 {
+		t.Fatal("imbalance should be zero right after reset")
+	}
+}
+
+func TestTopChannels(t *testing.T) {
+	f := testFF(t, 4, 2)
+	n, err := New(f.Graph(), &minimalAlg{f}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node 0..3 sends to node 4 (router 1): channel 0->1 is hottest.
+	tab := make([]topo.NodeID, 16)
+	for i := range tab {
+		tab[i] = 4
+	}
+	n.SetPattern(traffic.NewFixed("hot", tab))
+	for i := 0; i < 300; i++ {
+		n.GenerateBernoulli(0.3)
+		n.Step()
+	}
+	top := n.TopChannels(3)
+	if len(top) != 3 {
+		t.Fatalf("got %d channels", len(top))
+	}
+	if top[0].Flits < top[1].Flits || top[1].Flits < top[2].Flits {
+		t.Fatal("TopChannels not sorted descending")
+	}
+	// The hottest network channel belongs to a router sending toward
+	// router 1.
+	hot := top[0]
+	out := f.Graph().Routers[hot.Router].Out[hot.Port]
+	if out.Peer != 1 {
+		t.Errorf("hottest channel goes to router %d, want 1", out.Peer)
+	}
+}
+
+func TestBufferOccupancy(t *testing.T) {
+	f := testFF(t, 4, 2)
+	n, err := New(f.Graph(), &minimalAlg{f}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, mean, max := n.BufferOccupancy()
+	if total != 0 || mean != 0 || max != 0 {
+		t.Fatal("fresh network should have empty buffers")
+	}
+	n.SetPattern(traffic.NewWorstCase(4, 4))
+	for i := 0; i < 300; i++ {
+		n.GenerateBernoulli(1.0)
+		n.Step()
+	}
+	total, mean, max = n.BufferOccupancy()
+	if total <= 0 || mean <= 0 || max <= 0 {
+		t.Fatal("overloaded network should have occupied buffers")
+	}
+	buffered, _ := n.Inventory()
+	if total != buffered {
+		t.Fatalf("occupancy %d disagrees with inventory %d", total, buffered)
+	}
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"math/bits"
+
+	"flatnet/internal/topo"
+)
+
+// reqKey packs an (inport, vc) requester into an int32 for the per-output
+// request lists.
+func (n *Network) reqKey(inport, vc int) int32 { return int32(inport)*int32(n.vcs+1) + int32(vc) }
+
+func (n *Network) reqUnpack(key int32) (inport, vc int) {
+	return int(key) / (n.vcs + 1), int(key) % (n.vcs + 1)
+}
+
+// switchAllocate moves routed buffer heads through the crossbar and onto
+// their output channels. Each output channel transmits one flit per cycle
+// (serialized via nextFree), but the crossbar itself can deliver several
+// flits to the same output in one cycle — the paper's "sufficient switch
+// speedup" (§3.2), which keeps the router from becoming the bottleneck and
+// leaves channel bandwidth and buffering as the only constraints. Grants
+// are round-robin across requesting input VCs; a flit is granted only when
+// downstream credits exist (which also bounds the per-channel staging
+// backlog to the downstream buffer size), and cfg.Speedup, when non-zero,
+// caps both the grants per input port and per output port in a cycle.
+func (n *Network) switchAllocate() {
+	speedup := n.cfg.Speedup
+	for r := range n.routers {
+		rt := &n.routers[r]
+		// Collect requests.
+		anyReq := false
+		for p := range rt.in {
+			ip := &rt.in[p]
+			rt.grants[p] = 0
+			for occ := ip.occ; occ != 0; occ &= occ - 1 {
+				v := bits.TrailingZeros64(occ)
+				q := &ip.vcs[v]
+				if !q.routed {
+					continue
+				}
+				op := &rt.out[q.out.Port]
+				if op.credits != nil && op.credits[q.out.VC] <= 0 {
+					continue // no downstream space: do not bid
+				}
+				if op.credits == nil && op.nextFree-n.cycle >= int64(n.cfg.BufPerPort) {
+					continue // ejection staging queue full
+				}
+				if !q.headSent && op.owner != nil && op.owner[q.out.VC] != nil {
+					continue // downstream VC still owned by another packet
+				}
+				rt.reqs[q.out.Port] = append(rt.reqs[q.out.Port], n.reqKey(p, v))
+				anyReq = true
+			}
+		}
+		if !anyReq {
+			continue
+		}
+		for p := range rt.out {
+			reqs := rt.reqs[p]
+			if len(reqs) == 0 {
+				continue
+			}
+			op := &rt.out[p]
+			if n.cfg.AgeArbiter {
+				n.grantByAge(rt, op, reqs, speedup)
+				rt.reqs[p] = reqs[:0]
+				continue
+			}
+			outGrants := 0
+			rr0 := int32(op.rr)
+			// Round-robin: start from the first requester whose key is
+			// strictly greater than the pointer, wrapping; skip
+			// speedup-saturated inputs and (for terminals) a busy channel.
+			for pass := 0; pass < 2; pass++ {
+				for _, key := range reqs {
+					if pass == 0 && key <= rr0 {
+						continue
+					}
+					if pass == 1 && key > rr0 {
+						break
+					}
+					if speedup > 0 && outGrants >= speedup {
+						break
+					}
+					if op.credits == nil && op.nextFree-n.cycle >= int64(n.cfg.BufPerPort) {
+						break // ejection staging queue full
+					}
+					inport, vc := n.reqUnpack(key)
+					if speedup > 0 && int(rt.grants[inport]) >= speedup {
+						continue
+					}
+					q := &rt.in[inport].vcs[vc]
+					if op.credits != nil && op.credits[q.out.VC] <= 0 {
+						continue // credit consumed by an earlier grant this cycle
+					}
+					if !q.headSent && op.owner != nil && op.owner[q.out.VC] != nil {
+						continue // VC acquired by an earlier grant this cycle
+					}
+					op.rr = int(key)
+					rt.grants[inport]++
+					outGrants++
+					n.traverse(rt, inport, vc)
+				}
+			}
+			rt.reqs[p] = reqs[:0]
+		}
+	}
+}
+
+// grantByAge performs oldest-first switch allocation for one output:
+// repeatedly grant the eligible requester whose head packet has the
+// earliest injection cycle (ties by packet ID), until speedup or credits
+// run out.
+func (n *Network) grantByAge(rt *router, op *outPort, reqs []int32, speedup int) {
+	outGrants := 0
+	granted := make(map[int32]bool, len(reqs))
+	for {
+		if speedup > 0 && outGrants >= speedup {
+			return
+		}
+		best := int32(-1)
+		var bestAge int64
+		var bestID int64
+		for _, key := range reqs {
+			if granted[key] {
+				continue
+			}
+			inport, vc := n.reqUnpack(key)
+			if speedup > 0 && int(rt.grants[inport]) >= speedup {
+				continue
+			}
+			q := &rt.in[inport].vcs[vc]
+			if q.empty() {
+				continue
+			}
+			if op.credits != nil && op.credits[q.out.VC] <= 0 {
+				continue
+			}
+			if op.credits == nil && op.nextFree-n.cycle >= int64(n.cfg.BufPerPort) {
+				return
+			}
+			if !q.headSent && op.owner != nil && op.owner[q.out.VC] != nil {
+				continue
+			}
+			pkt := q.peek().pkt
+			if best < 0 || pkt.InjectCycle < bestAge ||
+				(pkt.InjectCycle == bestAge && pkt.ID < bestID) {
+				best, bestAge, bestID = key, pkt.InjectCycle, pkt.ID
+			}
+		}
+		if best < 0 {
+			return
+		}
+		granted[best] = true
+		inport, vc := n.reqUnpack(best)
+		rt.grants[inport]++
+		outGrants++
+		n.traverse(rt, inport, vc)
+	}
+}
+
+// traverse pops the granted flit and sends it down its output channel,
+// serializing transmission to one flit per cycle per channel, and returns
+// a credit upstream for network inputs.
+func (n *Network) traverse(rt *router, inport, vc int) {
+	ip := &rt.in[inport]
+	q := &ip.vcs[vc]
+	dec := q.out
+	isHead := !q.headSent
+	f := q.pop()
+	if q.empty() {
+		ip.occ &^= 1 << uint(vc)
+	}
+	op := &rt.out[dec.Port]
+	if ip.kind == topo.Network {
+		// Return a credit to the upstream router for the freed slot; it
+		// travels the reverse channel, so it takes the channel latency.
+		n.schedule(ip.creditLat, event{kind: evCredit, router: int32(ip.peer), port: int32(ip.peerPort), vc: int32(vc)})
+	}
+	depart := n.cycle
+	if op.nextFree > depart {
+		depart = op.nextFree
+	}
+	op.nextFree = depart + 1
+	op.flitsSent++
+	delay := int(depart-n.cycle) + op.latency
+	switch op.kind {
+	case topo.Network:
+		op.credits[dec.VC]--
+		// Wormhole VC allocation: the head flit acquires the downstream
+		// VC, the tail flit releases it (a single-flit packet does both
+		// in one traversal, leaving it free).
+		if isHead && !f.tail {
+			op.owner[dec.VC] = f.pkt
+		} else if f.tail && !isHead {
+			op.owner[dec.VC] = nil
+		}
+		if isHead {
+			f.pkt.Hops++
+		}
+		// The next router's pipeline delay is charged on arrival.
+		n.schedule(delay+n.cfg.RouterDelay, event{kind: evFlit, tail: f.tail, router: int32(op.peer), port: int32(op.peerPort), vc: int32(dec.VC), pkt: f.pkt})
+	case topo.Terminal:
+		op.pending[dec.VC]--
+		n.schedule(delay, event{kind: evDeliver, tail: f.tail, pkt: f.pkt})
+	}
+}

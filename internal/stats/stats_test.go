@@ -1,0 +1,271 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Min() != 0 || a.Max() != 0 || a.Count() != 0 {
+		t.Fatal("zero accumulator should report zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(v)
+	}
+	if a.Count() != 8 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if !almostEqual(a.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", a.Mean())
+	}
+	if !almostEqual(a.StdDev(), 2, 1e-9) {
+		t.Fatalf("stddev = %v", a.StdDev())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var a Accumulator
+	a.Add(10)
+	a.Reset()
+	if a.Count() != 0 || a.Sum() != 0 {
+		t.Fatal("Reset did not clear accumulator")
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	var a, b, all Accumulator
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	for i, v := range vals {
+		all.Add(v)
+		if i < 3 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || !almostEqual(a.Mean(), all.Mean(), 1e-12) ||
+		a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge mismatch: %v vs %v", a.String(), all.String())
+	}
+	var empty Accumulator
+	a.Merge(&empty)
+	if a.Count() != all.Count() {
+		t.Fatal("merging empty changed count")
+	}
+	var dst Accumulator
+	dst.Merge(&all)
+	if dst.Count() != all.Count() || dst.Mean() != all.Mean() {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+// bounded maps an arbitrary generated float into a numerically sane range
+// so that sums and squares cannot overflow to +/-Inf.
+func bounded(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	check := func(xs, ys []float64) bool {
+		var a, b, seq Accumulator
+		for _, v := range xs {
+			v = bounded(v)
+			a.Add(v)
+			seq.Add(v)
+		}
+		for _, v := range ys {
+			v = bounded(v)
+			b.Add(v)
+			seq.Add(v)
+		}
+		a.Merge(&b)
+		return a.Count() == seq.Count() &&
+			almostEqual(a.Sum(), seq.Sum(), 1e-6*(1+math.Abs(seq.Sum()))) &&
+			a.Min() == seq.Min() && a.Max() == seq.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarianceNonNegative(t *testing.T) {
+	check := func(xs []float64) bool {
+		var a Accumulator
+		for _, v := range xs {
+			a.Add(bounded(v))
+		}
+		return a.Variance() >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int{0, 1, 1, 2, 3, 5, 8, 10} {
+		h.Add(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantMean := float64(0+1+1+2+3+5+8+10) / 8
+	if !almostEqual(h.Mean(), wantMean, 1e-12) {
+		t.Fatalf("mean = %v want %v", h.Mean(), wantMean)
+	}
+	if p := h.Percentile(0.5); p != 2 {
+		t.Fatalf("p50 = %d, want 2", p)
+	}
+	if p := h.Percentile(1.0); p != 10 {
+		t.Fatalf("p100 = %d, want 10", p)
+	}
+	if p := h.Percentile(0); p != 0 {
+		t.Fatalf("p0 = %d, want 0", p)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(100)
+	h.Add(2)
+	if h.Overflow() != 1 {
+		t.Fatalf("overflow = %d", h.Overflow())
+	}
+	if !almostEqual(h.Mean(), 51, 1e-12) {
+		t.Fatalf("mean should include overflow values exactly, got %v", h.Mean())
+	}
+	if p := h.Percentile(1.0); p != 5 {
+		t.Fatalf("overflowed percentile = %d, want maxValue+1 = 5", p)
+	}
+}
+
+func TestHistogramNegativeClamp(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(-3)
+	if h.Count() != 1 || h.Percentile(1) != 0 {
+		t.Fatal("negative sample should clamp to 0")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(3)
+	h.Add(99)
+	h.Reset()
+	if h.Count() != 0 || h.Overflow() != 0 || h.Mean() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	check := func(vals []uint8) bool {
+		h := NewHistogram(255)
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		prev := -1
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			p := h.Percentile(q)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	m := NewRateMeter(100)
+	m.Record(100, 2)
+	m.Record(101, 1)
+	m.Record(103, 1)
+	if m.Events() != 4 {
+		t.Fatalf("events = %d", m.Events())
+	}
+	if m.Window() != 4 {
+		t.Fatalf("window = %d", m.Window())
+	}
+	if !almostEqual(m.Rate(), 1.0, 1e-12) {
+		t.Fatalf("rate = %v", m.Rate())
+	}
+}
+
+func TestRateMeterEmpty(t *testing.T) {
+	m := NewRateMeter(5)
+	if m.Rate() != 0 || m.Window() != 0 {
+		t.Fatal("empty meter should report zero rate")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "test"
+	s.Append(0.1, 10)
+	s.Append(0.2, 30)
+	s.Append(0.3, 20)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if y, ok := s.YAt(0.2); !ok || y != 30 {
+		t.Fatalf("YAt(0.2) = %v,%v", y, ok)
+	}
+	if _, ok := s.YAt(0.5); ok {
+		t.Fatal("YAt should miss for absent x")
+	}
+	if s.MaxY() != 30 {
+		t.Fatalf("MaxY = %v", s.MaxY())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.5, 3}, {1, 5}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(data, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) should be 0")
+	}
+	// Interpolated case: quantile 0.5 of {1,2} is 1.5.
+	if got := Quantile([]float64{2, 1}, 0.5); !almostEqual(got, 1.5, 1e-12) {
+		t.Errorf("interpolated quantile = %v, want 1.5", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	data := []float64{3, 1, 2}
+	Quantile(data, 0.5)
+	if data[0] != 3 || data[1] != 1 || data[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestAccumulatorString(t *testing.T) {
+	var a Accumulator
+	a.Add(2)
+	a.Add(4)
+	s := a.String()
+	if s == "" || !strings.Contains(s, "n=2") || !strings.Contains(s, "mean=3.000") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,112 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTorusStructure(t *testing.T) {
+	tor, err := NewTorus(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.NumNodes != 64 || tor.NumRouters != 64 {
+		t.Fatalf("sizes: %+v", tor)
+	}
+	if err := tor.Graph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// n dimensions x 2 directions per router.
+	if got := tor.Graph().CountChannels(); got != 64*3*2 {
+		t.Fatalf("channels = %d, want %d", got, 64*3*2)
+	}
+	if _, err := NewTorus(1, 2); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := NewTorus(4, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestTorusNeighborsWrap(t *testing.T) {
+	tor, err := NewTorus(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Router 3 (coords 3,0): plus neighbor in dim 0 wraps to 0.
+	if got := tor.Neighbor(3, 0, +1); got != 0 {
+		t.Fatalf("wrap+ = %d, want 0", got)
+	}
+	if got := tor.Neighbor(0, 0, -1); got != 3 {
+		t.Fatalf("wrap- = %d, want 3", got)
+	}
+	if got := tor.Neighbor(5, 1, +1); got != 9 {
+		t.Fatalf("dim-1 neighbor = %d, want 9", got)
+	}
+}
+
+func TestTorusNeighborInverse(t *testing.T) {
+	tor, err := NewTorus(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(rr uint16, dd uint8) bool {
+		r := RouterID(int(rr) % tor.NumRouters)
+		d := int(dd) % tor.N
+		return tor.Neighbor(tor.Neighbor(r, d, +1), d, -1) == r
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusRingDistance(t *testing.T) {
+	tor, err := NewTorus(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ a, b, hops, dir int }{
+		{0, 0, 0, +1}, {0, 1, 1, +1}, {0, 4, 4, +1}, {0, 5, 3, -1}, {0, 7, 1, -1},
+		{6, 1, 3, +1},
+	}
+	for _, c := range cases {
+		h, d := tor.RingDistance(c.a, c.b)
+		if h != c.hops || d != c.dir {
+			t.Errorf("RingDistance(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, h, d, c.hops, c.dir)
+		}
+	}
+}
+
+func TestTorusMinHops(t *testing.T) {
+	tor, err := NewTorus(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,0) to (2,2): 2 + 2 = 4 hops (both halfway around).
+	if got := tor.MinHops(0, 10); got != 4 {
+		t.Fatalf("MinHops = %d, want 4", got)
+	}
+	// (0,0) to (3,0): wrap, 1 hop.
+	if got := tor.MinHops(0, 3); got != 1 {
+		t.Fatalf("MinHops = %d, want 1", got)
+	}
+}
+
+func TestTorusAverageHopCountExceedsFlatFly(t *testing.T) {
+	// The §1 argument: for the same node count, the low-radix torus has a
+	// much higher diameter than a flattened butterfly. 64 nodes: 4-ary
+	// 3-cube diameter = 6; 8-ary 2-flat diameter = 1.
+	tor, err := NewTorus(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxHops := 0
+	for r := 0; r < tor.NumRouters; r++ {
+		if h := tor.MinHops(0, RouterID(r)); h > maxHops {
+			maxHops = h
+		}
+	}
+	if maxHops != 6 {
+		t.Fatalf("4-ary 3-cube diameter = %d, want 6", maxHops)
+	}
+}
