@@ -2,9 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figs quickfigs fuzz clean
+.PHONY: all build vet fmtcheck test race check bench figs quickfigs fuzz clean
 
-all: build vet test
+# Tier-1 flow: build, static checks, tests, then the race detector over
+# the whole module — the sweep engine's worker pool must stay race-clean.
+all: check
 
 build:
 	$(GO) build ./...
@@ -12,18 +14,26 @@ build:
 vet:
 	$(GO) vet ./...
 
+# fmtcheck fails if any file needs gofmt.
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+check: build vet fmtcheck test race
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every paper table and figure at full scale (tens of minutes).
+# Regenerate every paper table and figure at full scale (tens of minutes
+# sequentially; the worker pool and result cache cut re-runs down sharply).
 figs:
-	$(GO) run ./cmd/paperfigs -out results
+	$(GO) run ./cmd/paperfigs -out results -cache results/simcache.jsonl
 
 # Reduced-scale smoke regeneration (~1 minute).
 quickfigs:

@@ -12,7 +12,7 @@ import (
 func TestRunAnalyticFigures(t *testing.T) {
 	dir := t.TempDir()
 	for _, id := range []string{"2", "3", "t1", "t2", "t3", "t4", "t5", "7", "89", "10", "11", "13"} {
-		if err := run(id, dir, true); err != nil {
+		if err := run(id, dir, true, nil); err != nil {
 			t.Fatalf("fig %s: %v", id, err)
 		}
 	}
@@ -43,7 +43,7 @@ func TestRunQuickSimFigure(t *testing.T) {
 		t.Skip("simulation figure in -short mode")
 	}
 	dir := t.TempDir()
-	if err := run("14", dir, true); err != nil {
+	if err := run("14", dir, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig14.txt"))
@@ -56,8 +56,27 @@ func TestRunQuickSimFigure(t *testing.T) {
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run("zz", t.TempDir(), true); err == nil {
+	if err := run("zz", t.TempDir(), true, nil); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+// TestRunAggregatesFailures checks that one failing figure does not stop
+// the rest and that every failure is reported in the aggregate error.
+func TestRunAggregatesFailures(t *testing.T) {
+	dir := t.TempDir()
+	err := run("zz, t1 ,yy", dir, true, nil)
+	if err == nil {
+		t.Fatal("expected aggregated error for unknown figures")
+	}
+	for _, want := range []string{`"zz"`, `"yy"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregate error missing %s: %v", want, err)
+		}
+	}
+	// The valid figure in the middle of the list was still generated.
+	if _, statErr := os.Stat(filepath.Join(dir, "table1.txt")); statErr != nil {
+		t.Errorf("table1.txt not generated despite failures around it: %v", statErr)
 	}
 }
 

@@ -8,7 +8,12 @@ import (
 	"flatnet"
 	"flatnet/internal/experiments"
 	"flatnet/internal/report"
+	"flatnet/internal/sweep"
 )
+
+// engine is the sweep engine the simulation figures run on for the
+// duration of a run() call; nil means the sequential reference path.
+var engine *sweep.Engine
 
 func scale(quick bool) experiments.Scale {
 	if quick {
@@ -83,7 +88,7 @@ func sanitize(s string) string {
 // fig4 runs the five routing algorithms on UR or WC traffic.
 func fig4(w *os.File, quick bool, pattern string) error {
 	s := scale(quick)
-	series, err := experiments.Fig4(pattern, s)
+	series, err := experiments.Fig4On(engine, pattern, s)
 	if err != nil {
 		return err
 	}
@@ -100,7 +105,7 @@ func fig4(w *os.File, quick bool, pattern string) error {
 // fig5 runs the batch dynamic-response experiment.
 func fig5(w *os.File, quick bool) error {
 	s := scale(quick)
-	series, err := experiments.Fig5(s)
+	series, err := experiments.Fig5On(engine, s)
 	if err != nil {
 		return err
 	}
@@ -137,7 +142,7 @@ func fig5(w *os.File, quick bool) error {
 // fig6 runs the four-topology comparison.
 func fig6(w *os.File, quick bool, pattern string) error {
 	s := scale(quick)
-	series, err := experiments.Fig6(pattern, s)
+	series, err := experiments.Fig6On(engine, pattern, s)
 	if err != nil {
 		return err
 	}
@@ -162,7 +167,7 @@ func fig12(w *os.File, quick bool, alg string) error {
 	if quick {
 		nodes = 256
 	}
-	series, err := experiments.Fig12(alg, nodes, loads, s)
+	series, err := experiments.Fig12On(engine, alg, nodes, loads, s)
 	if err != nil {
 		return err
 	}

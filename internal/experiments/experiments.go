@@ -1,18 +1,21 @@
 // Package experiments defines the paper's evaluation experiments — one
 // entry per table and figure — at full (paper-scale) or quick (smoke)
-// scale. cmd/paperfigs renders their results to files; the repository
-// benchmarks execute them under testing.B; tests assert their headline
-// shapes.
+// scale. Each simulation experiment is expressed as a list of
+// independent sweep.Job specs executed by a sweep.Engine, so figures can
+// run sequentially, in parallel, or against a warm result cache without
+// changing their output. cmd/paperfigs renders their results to files;
+// the repository benchmarks execute them under testing.B; tests assert
+// their headline shapes.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flatnet/internal/core"
-	"flatnet/internal/routing"
 	"flatnet/internal/sim"
+	"flatnet/internal/sweep"
 	"flatnet/internal/topo"
-	"flatnet/internal/traffic"
 )
 
 // Scale selects the fidelity of the simulation experiments.
@@ -56,28 +59,28 @@ func Quick() Scale {
 
 func (s Scale) flatFly() (*core.FlatFly, error) { return core.NewFlatFly(s.K, s.N) }
 
-func (s Scale) config() sim.Config {
-	return sim.Config{Seed: s.Seed, BufPerPort: 32}
-}
-
-func (s Scale) runConfig(load float64, p traffic.Pattern) sim.RunConfig {
-	return sim.RunConfig{
-		Load: load, Pattern: p,
+// job returns the Scale's base flattened-butterfly job: §3.2 simulator
+// configuration, this scale's windows and seed.
+func (s Scale) job(alg, pattern string) sweep.Job {
+	return sweep.Job{
+		Net: "flatfly", K: s.K, N: s.N,
+		Alg: alg, Pattern: pattern,
 		Warmup: s.Warmup, Measure: s.Measure, MaxCycles: s.MaxCycles,
+		Seed: s.Seed, BufPerPort: 32,
 	}
 }
 
-// pattern builds the named workload for a flattened butterfly.
-func (s Scale) pattern(name string, f *core.FlatFly) (traffic.Pattern, error) {
-	switch name {
-	case "uniform", "UR":
-		return traffic.NewUniform(f.NumNodes), nil
-	case "worstcase", "WC":
-		return traffic.NewWorstCase(f.K, f.NumRouters), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown pattern %q", name)
+// seqEngine returns the engine figures run on when the caller does not
+// supply one: a single worker, no cache — the sequential reference path.
+func seqEngine(eng *sweep.Engine) *sweep.Engine {
+	if eng != nil {
+		return eng
 	}
+	return &sweep.Engine{Workers: 1}
 }
+
+// flatFlyAlgs lists the paper's five routing algorithms (Fig. 4 order).
+var flatFlyAlgs = []string{"MIN AD", "VAL", "UGAL", "UGAL-S", "CLOS AD"}
 
 // AlgSeries is one routing algorithm's latency-versus-load curve.
 type AlgSeries struct {
@@ -87,34 +90,42 @@ type AlgSeries struct {
 	SaturationThroughput float64
 }
 
-// Fig4 reproduces Figure 4: the five routing algorithms on the flattened
-// butterfly under uniform ("UR") or worst-case ("WC") traffic.
+// Fig4 reproduces Figure 4 on the sequential reference engine.
 func Fig4(patternName string, s Scale) ([]AlgSeries, error) {
-	f, err := s.flatFly()
-	if err != nil {
+	return Fig4On(nil, patternName, s)
+}
+
+// Fig4On reproduces Figure 4 — the five routing algorithms on the
+// flattened butterfly under uniform ("UR") or worst-case ("WC") traffic —
+// on the given engine (nil = sequential).
+func Fig4On(eng *sweep.Engine, patternName string, s Scale) ([]AlgSeries, error) {
+	if err := checkPattern(patternName); err != nil {
 		return nil, err
 	}
-	p, err := s.pattern(patternName, f)
+	specs := make([]sweep.SeriesSpec, len(flatFlyAlgs))
+	for i, alg := range flatFlyAlgs {
+		specs[i] = sweep.SeriesSpec{Base: s.job(alg, patternName), Loads: s.Loads, Saturation: true}
+	}
+	res, err := seqEngine(eng).RunSeries(context.Background(), specs)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: fig4: %w", err)
 	}
-	algs := []sim.Algorithm{
-		routing.NewMinAD(f), routing.NewValiant(f),
-		routing.NewUGAL(f), routing.NewUGALS(f), routing.NewClosAD(f),
-	}
-	out := make([]AlgSeries, 0, len(algs))
-	for _, alg := range algs {
-		pts, err := sim.LoadSweep(f.Graph(), alg, s.config(), s.runConfig(0, p), s.Loads)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig4 %s: %w", alg.Name(), err)
-		}
-		sat, err := sim.SaturationThroughput(f.Graph(), alg, s.config(), p, s.Warmup, s.Measure)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AlgSeries{Algorithm: alg.Name(), Points: pts, SaturationThroughput: sat})
+	out := make([]AlgSeries, len(flatFlyAlgs))
+	for i, alg := range flatFlyAlgs {
+		out[i] = AlgSeries{Algorithm: alg, Points: res[i].Points, SaturationThroughput: res[i].SaturationThroughput}
 	}
 	return out, nil
+}
+
+// checkPattern validates the pattern names the figures accept, so a typo
+// fails before any jobs are scheduled.
+func checkPattern(name string) error {
+	switch name {
+	case "uniform", "UR", "worstcase", "WC":
+		return nil
+	default:
+		return fmt.Errorf("experiments: unknown pattern %q", name)
+	}
 }
 
 // BatchSeries is one algorithm's Fig. 5 dynamic-response curve.
@@ -123,29 +134,35 @@ type BatchSeries struct {
 	Points    []sim.BatchResult
 }
 
-// Fig5 reproduces Figure 5: batch completion latency normalized to batch
-// size, on the worst-case pattern, for the four load-balancing
+// Fig5 reproduces Figure 5 on the sequential reference engine.
+func Fig5(s Scale) ([]BatchSeries, error) { return Fig5On(nil, s) }
+
+// Fig5On reproduces Figure 5: batch completion latency normalized to
+// batch size, on the worst-case pattern, for the four load-balancing
 // algorithms.
-func Fig5(s Scale) ([]BatchSeries, error) {
-	f, err := s.flatFly()
-	if err != nil {
-		return nil, err
-	}
-	wc := traffic.NewWorstCase(f.K, f.NumRouters)
-	algs := []sim.Algorithm{
-		routing.NewValiant(f), routing.NewUGAL(f), routing.NewUGALS(f), routing.NewClosAD(f),
-	}
-	out := make([]BatchSeries, 0, len(algs))
+func Fig5On(eng *sweep.Engine, s Scale) ([]BatchSeries, error) {
+	algs := flatFlyAlgs[1:] // all but MIN AD
+	var jobs []sweep.Job
 	for _, alg := range algs {
-		bs := BatchSeries{Algorithm: alg.Name()}
 		for _, b := range s.Batches {
-			r, err := sim.RunBatch(f.Graph(), alg, s.config(), wc, b, 0)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig5 %s: %w", alg.Name(), err)
-			}
-			bs.Points = append(bs.Points, r)
+			j := s.job(alg, "WC")
+			j.Mode = sweep.ModeBatch
+			j.BatchSize = b
+			j.MaxCycles = 0 // RunBatch's own default bound
+			jobs = append(jobs, j)
 		}
-		out = append(out, bs)
+	}
+	results, err := seqEngine(eng).Run(context.Background(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig5: %w", err)
+	}
+	out := make([]BatchSeries, len(algs))
+	for i, alg := range algs {
+		bs := BatchSeries{Algorithm: alg}
+		for bi := range s.Batches {
+			bs.Points = append(bs.Points, results[i*len(s.Batches)+bi].Batch)
+		}
+		out[i] = bs
 	}
 	return out, nil
 }
@@ -158,66 +175,99 @@ type TopoSeries struct {
 	SaturationThroughput float64
 }
 
-// Fig6 reproduces Figure 6: flattened butterfly (CLOS AD), conventional
+// Fig6 reproduces Figure 6 on the sequential reference engine.
+func Fig6(patternName string, s Scale) ([]TopoSeries, error) {
+	return Fig6On(nil, patternName, s)
+}
+
+// Fig6On reproduces Figure 6: flattened butterfly (CLOS AD), conventional
 // butterfly (destination), folded Clos (adaptive sequential, 2:1 taper for
 // equal bisection) and hypercube (e-cube) under uniform or worst-case
 // traffic, with bisection bandwidth held constant (Table 1).
-func Fig6(patternName string, s Scale) ([]TopoSeries, error) {
+func Fig6On(eng *sweep.Engine, patternName string, s Scale) ([]TopoSeries, error) {
+	if err := checkPattern(patternName); err != nil {
+		return nil, err
+	}
 	f, err := s.flatFly()
 	if err != nil {
 		return nil, err
 	}
 	n := f.NumNodes
-	bf, err := topo.NewButterfly(s.K, s.N)
-	if err != nil {
-		return nil, err
-	}
-	fc, err := topo.NewFoldedClos(f.K, f.K/2, f.NumRouters, maxInt(1, f.K/4))
-	if err != nil {
-		return nil, err
-	}
 	dims := 0
 	for c := 1; c < n; c <<= 1 {
 		dims++
 	}
-	hc, err := topo.NewHypercube(dims)
+	base := s.job("", patternName)
+	// Every topology sees the worst-case pattern at the flattened
+	// butterfly's concentration so the comparison is like-for-like.
+	base.Conc = f.K
+	type entry struct {
+		topoName string
+		mut      func(j *sweep.Job)
+	}
+	entries := []entry{
+		{fmt.Sprintf("%d-ary %d-flat", s.K, s.N), func(j *sweep.Job) {
+			j.Alg = "CLOS AD"
+		}},
+		{fmt.Sprintf("%d-ary %d-fly", s.K, s.N), func(j *sweep.Job) {
+			j.Net, j.Alg = "butterfly", "destination"
+		}},
+		{"folded Clos", func(j *sweep.Job) {
+			j.Net, j.Alg = "foldedclos", "adaptive sequential"
+			j.K, j.N = f.K, 0
+			j.Uplinks, j.Leaves, j.Middles = f.K/2, f.NumRouters, maxInt(1, f.K/4)
+		}},
+		{fmt.Sprintf("%d-cube", dims), func(j *sweep.Job) {
+			j.Net, j.Alg = "hypercube", "e-cube"
+			j.K, j.N = 0, dims
+		}},
+	}
+	specs := make([]sweep.SeriesSpec, len(entries))
+	for i, e := range entries {
+		j := base
+		e.mut(&j)
+		specs[i] = sweep.SeriesSpec{Base: j, Loads: s.Loads, Saturation: true}
+	}
+	res, err := seqEngine(eng).RunSeries(context.Background(), specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig6: %w", err)
+	}
+	// Topology display names come from the constructors so the figure
+	// labels match the rest of the repo.
+	names, algNames, err := fig6Names(s, f, dims)
 	if err != nil {
 		return nil, err
 	}
-	type entry struct {
-		g    *topo.Graph
-		name string
-		alg  sim.Algorithm
-		conc int // worst-case pattern concentration
-	}
-	entries := []entry{
-		{f.Graph(), f.Name(), routing.NewClosAD(f), f.K},
-		{bf.Graph(), bf.Name(), routing.NewButterflyDest(bf), f.K},
-		{fc.Graph(), fc.Name(), routing.NewFoldedClosAdaptive(fc), f.K},
-		{hc.Graph(), hc.Name(), routing.NewECube(hc), f.K},
-	}
-	out := make([]TopoSeries, 0, len(entries))
-	for _, e := range entries {
-		var p traffic.Pattern
-		switch patternName {
-		case "uniform", "UR":
-			p = traffic.NewUniform(n)
-		case "worstcase", "WC":
-			p = traffic.NewWorstCase(e.conc, n/e.conc)
-		default:
-			return nil, fmt.Errorf("experiments: unknown pattern %q", patternName)
+	out := make([]TopoSeries, len(entries))
+	for i := range entries {
+		out[i] = TopoSeries{
+			Topology:             names[i],
+			Algorithm:            algNames[i],
+			Points:               res[i].Points,
+			SaturationThroughput: res[i].SaturationThroughput,
 		}
-		pts, err := sim.LoadSweep(e.g, e.alg, s.config(), s.runConfig(0, p), s.Loads)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig6 %s: %w", e.name, err)
-		}
-		sat, err := sim.SaturationThroughput(e.g, e.alg, s.config(), p, s.Warmup, s.Measure)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, TopoSeries{Topology: e.name, Algorithm: e.alg.Name(), Points: pts, SaturationThroughput: sat})
 	}
 	return out, nil
+}
+
+// fig6Names reproduces the display names the topology and routing
+// constructors report, without building simulation state.
+func fig6Names(s Scale, f *core.FlatFly, dims int) (topoNames, algNames []string, err error) {
+	bf, err := topo.NewButterfly(s.K, s.N)
+	if err != nil {
+		return nil, nil, err
+	}
+	fc, err := topo.NewFoldedClos(f.K, f.K/2, f.NumRouters, maxInt(1, f.K/4))
+	if err != nil {
+		return nil, nil, err
+	}
+	hc, err := topo.NewHypercube(dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	topoNames = []string{f.Name(), bf.Name(), fc.Name(), hc.Name()}
+	algNames = []string{"CLOS AD", "destination", "adaptive sequential", "e-cube"}
+	return topoNames, algNames, nil
 }
 
 // ConfigSeries is one (k, n') configuration's Fig. 12 result.
@@ -227,7 +277,12 @@ type ConfigSeries struct {
 	SaturationThroughput float64
 }
 
-// Fig12 reproduces Figure 12: the Table 4 configurations of a fixed-size
+// Fig12 reproduces Figure 12 on the sequential reference engine.
+func Fig12(alg string, nodes int, loads []float64, s Scale) ([]ConfigSeries, error) {
+	return Fig12On(nil, alg, nodes, loads, s)
+}
+
+// Fig12On reproduces Figure 12: the Table 4 configurations of a fixed-size
 // network simulated under VAL (a) or MIN AD (b). For MIN AD the paper
 // holds the total storage per physical channel at 64 flits, split over
 // the n' virtual channels, so throughput degrades as n' grows. That
@@ -237,47 +292,35 @@ type ConfigSeries struct {
 // of the paper's router, where 64 flits per physical channel was a
 // meaningful budget); VAL uses the default 1-cycle channels. nodes
 // selects the network size (the paper uses 4096).
-func Fig12(alg string, nodes int, loads []float64, s Scale) ([]ConfigSeries, error) {
+func Fig12On(eng *sweep.Engine, alg string, nodes int, loads []float64, s Scale) ([]ConfigSeries, error) {
+	if alg != "VAL" && alg != "MIN AD" {
+		return nil, fmt.Errorf("experiments: fig12 supports VAL and MIN AD, not %q", alg)
+	}
 	cfgs := core.ConfigsForN(nodes)
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("experiments: no flattened-butterfly configurations for N=%d", nodes)
 	}
-	out := make([]ConfigSeries, 0, len(cfgs))
-	for _, c := range cfgs {
-		var topoOpts []core.Option
+	specs := make([]sweep.SeriesSpec, len(cfgs))
+	for i, c := range cfgs {
+		j := s.job(alg, "UR")
+		j.K, j.N = c.K, c.N
 		if alg == "MIN AD" {
-			topoOpts = append(topoOpts, core.WithChannelLatency(16))
+			j.ChannelLatency = 16
+			j.BufPerPort = 64 // §5.1.1: 64 flits per PC split across n' VCs
 		}
-		f, err := core.NewFlatFly(c.K, c.N, topoOpts...)
-		if err != nil {
-			return nil, err
-		}
-		var a sim.Algorithm
-		cfg := s.config()
-		switch alg {
-		case "VAL":
-			a = routing.NewValiant(f)
-		case "MIN AD":
-			a = routing.NewMinAD(f)
-			cfg.BufPerPort = 64 // §5.1.1: 64 flits per PC split across n' VCs
-		default:
-			return nil, fmt.Errorf("experiments: fig12 supports VAL and MIN AD, not %q", alg)
-		}
-		p := traffic.NewUniform(f.NumNodes)
-		rc := s.runConfig(0, p)
 		// The high-dimensionality configurations are large (up to N/2
 		// routers) and some load points sit beyond saturation; bound the
 		// drain so the sweep completes in reasonable time.
-		rc.MaxCycles = 4 * (s.Warmup + s.Measure)
-		pts, err := sim.LoadSweep(f.Graph(), a, cfg, rc, loads)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig12 k=%d: %w", c.K, err)
-		}
-		sat, err := sim.SaturationThroughput(f.Graph(), a, cfg, p, s.Warmup, s.Measure)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ConfigSeries{Config: c, Points: pts, SaturationThroughput: sat})
+		j.MaxCycles = 4 * (s.Warmup + s.Measure)
+		specs[i] = sweep.SeriesSpec{Base: j, Loads: loads, Saturation: true}
+	}
+	res, err := seqEngine(eng).RunSeries(context.Background(), specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig12: %w", err)
+	}
+	out := make([]ConfigSeries, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = ConfigSeries{Config: c, Points: res[i].Points, SaturationThroughput: res[i].SaturationThroughput}
 	}
 	return out, nil
 }

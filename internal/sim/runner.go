@@ -1,12 +1,21 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"flatnet/internal/stats"
 	"flatnet/internal/topo"
 	"flatnet/internal/traffic"
 )
+
+// ErrStopped is returned (wrapped) when a run's Stop hook asks it to
+// abort before completing.
+var ErrStopped = errors.New("sim: run stopped")
+
+// stopPollMask throttles Stop polling to every 256 cycles so the hook
+// (which may read a clock) stays off the simulation hot path.
+const stopPollMask = 0xff
 
 // RunConfig describes one open-loop measurement: warm the network up at
 // the offered load, label the packets injected during a measurement
@@ -26,6 +35,11 @@ type RunConfig struct {
 	// on/off bursty process of Network.GenerateOnOff at the same average
 	// load.
 	Burst *BurstConfig
+	// Stop, when non-nil, is polled every few hundred cycles; returning
+	// true aborts the run with an error wrapping ErrStopped. It is the
+	// hook for context cancellation and wall-clock budgets, and it never
+	// perturbs the simulation's random streams.
+	Stop func() bool
 }
 
 // BurstConfig parameterizes on/off injection for RunLoadPoint.
@@ -114,6 +128,9 @@ func RunLoadPoint(g *topo.Graph, alg Algorithm, cfg Config, rc RunConfig) (LoadP
 			res.Saturated = true
 			break
 		}
+		if rc.Stop != nil && c&stopPollMask == 0 && rc.Stop() {
+			return LoadPointResult{}, fmt.Errorf("at cycle %d: %w", c, ErrStopped)
+		}
 	}
 	created, delivered := n.MeasuredCounts()
 	res.MeasuredCreated = created
@@ -189,6 +206,11 @@ type BatchResult struct {
 
 // RunBatch executes the Fig. 5 batch experiment.
 func RunBatch(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, batchSize, maxCycles int) (BatchResult, error) {
+	return RunBatchStop(g, alg, cfg, pattern, batchSize, maxCycles, nil)
+}
+
+// RunBatchStop is RunBatch with a Stop hook, polled as in RunConfig.Stop.
+func RunBatchStop(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, batchSize, maxCycles int, stop func() bool) (BatchResult, error) {
 	if batchSize < 1 {
 		return BatchResult{}, fmt.Errorf("sim: batch size must be >= 1")
 	}
@@ -211,6 +233,9 @@ func RunBatch(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern,
 		if n.Cycle() >= int64(maxCycles) {
 			return BatchResult{}, fmt.Errorf("sim: batch of %d did not complete within %d cycles (%s)",
 				batchSize, maxCycles, alg.Name())
+		}
+		if stop != nil && n.Cycle()&stopPollMask == 0 && stop() {
+			return BatchResult{}, fmt.Errorf("at cycle %d: %w", n.Cycle(), ErrStopped)
 		}
 	}
 	res := BatchResult{

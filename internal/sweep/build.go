@@ -1,0 +1,162 @@
+package sweep
+
+import (
+	"fmt"
+
+	"flatnet/internal/core"
+	"flatnet/internal/routing"
+	"flatnet/internal/sim"
+	"flatnet/internal/topo"
+	"flatnet/internal/traffic"
+)
+
+// build materializes the job's network, routing algorithm, traffic
+// pattern and simulator configuration. Parameter conventions per Net:
+//
+//	"flatfly"    K-ary N-flat; honors ChannelLatency and Multiplicity.
+//	             Algs: "MIN AD", "VAL", "UGAL", "UGAL-S", "CLOS AD"
+//	             (and the short forms routing.NewFlatFlyAlgorithm takes).
+//	"butterfly"  K-ary N-fly. Alg: "destination".
+//	"foldedclos" K terminals per leaf, Uplinks, Leaves, Middles.
+//	             Alg: "adaptive sequential".
+//	"hypercube"  N-dimensional binary hypercube. Alg: "e-cube".
+func (j Job) build() (*topo.Graph, sim.Algorithm, traffic.Pattern, sim.Config, error) {
+	j = j.Normalize()
+	var (
+		g   *topo.Graph
+		alg sim.Algorithm
+	)
+	switch j.Net {
+	case "flatfly":
+		var opts []core.Option
+		if j.ChannelLatency != 1 {
+			opts = append(opts, core.WithChannelLatency(j.ChannelLatency))
+		}
+		if j.Multiplicity != 1 {
+			opts = append(opts, core.WithMultiplicity(j.Multiplicity))
+		}
+		f, err := core.NewFlatFly(j.K, j.N, opts...)
+		if err != nil {
+			return nil, nil, nil, sim.Config{}, err
+		}
+		alg, err = routing.NewFlatFlyAlgorithm(j.Alg, f)
+		if err != nil {
+			return nil, nil, nil, sim.Config{}, err
+		}
+		g = f.Graph()
+	case "butterfly":
+		b, err := topo.NewButterfly(j.K, j.N)
+		if err != nil {
+			return nil, nil, nil, sim.Config{}, err
+		}
+		if j.Alg != "destination" {
+			return nil, nil, nil, sim.Config{}, fmt.Errorf("sweep: butterfly supports alg \"destination\", not %q", j.Alg)
+		}
+		alg = routing.NewButterflyDest(b)
+		g = b.Graph()
+	case "foldedclos":
+		fc, err := topo.NewFoldedClos(j.K, j.Uplinks, j.Leaves, j.Middles)
+		if err != nil {
+			return nil, nil, nil, sim.Config{}, err
+		}
+		if j.Alg != "adaptive sequential" {
+			return nil, nil, nil, sim.Config{}, fmt.Errorf("sweep: foldedclos supports alg \"adaptive sequential\", not %q", j.Alg)
+		}
+		alg = routing.NewFoldedClosAdaptive(fc)
+		g = fc.Graph()
+	case "hypercube":
+		h, err := topo.NewHypercube(j.N)
+		if err != nil {
+			return nil, nil, nil, sim.Config{}, err
+		}
+		if j.Alg != "e-cube" {
+			return nil, nil, nil, sim.Config{}, fmt.Errorf("sweep: hypercube supports alg \"e-cube\", not %q", j.Alg)
+		}
+		alg = routing.NewECube(h)
+		g = h.Graph()
+	default:
+		return nil, nil, nil, sim.Config{}, fmt.Errorf("sweep: unknown network constructor %q", j.Net)
+	}
+
+	pat, err := j.buildPattern(g.NumNodes)
+	if err != nil {
+		return nil, nil, nil, sim.Config{}, err
+	}
+	cfg := sim.Config{
+		Seed:        j.Seed,
+		BufPerPort:  j.BufPerPort,
+		PacketSize:  j.PacketSize,
+		Speedup:     j.Speedup,
+		AgeArbiter:  j.AgeArbiter,
+		RouterDelay: j.RouterDelay,
+	}
+	return g, alg, pat, cfg, nil
+}
+
+// buildPattern constructs the job's traffic pattern for an n-node
+// network. Group patterns (WC, TOR) use Conc terminals per group.
+func (j Job) buildPattern(nodes int) (traffic.Pattern, error) {
+	switch j.Pattern {
+	case "UR":
+		return traffic.NewUniform(nodes), nil
+	case "WC", "TOR":
+		if j.Conc <= 0 || nodes%j.Conc != 0 {
+			return nil, fmt.Errorf("sweep: pattern %s needs a concentration dividing %d nodes, got %d", j.Pattern, nodes, j.Conc)
+		}
+		if j.Pattern == "WC" {
+			return traffic.NewWorstCase(j.Conc, nodes/j.Conc), nil
+		}
+		return traffic.NewTornado(j.Conc, nodes/j.Conc), nil
+	case "BC":
+		return traffic.NewBitComplement(nodes), nil
+	case "TP":
+		return traffic.NewTranspose(nodes)
+	case "SH":
+		return traffic.NewShuffle(nodes)
+	case "RP":
+		return traffic.NewRandPerm(nodes, j.Seed), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown traffic pattern %q", j.Pattern)
+	}
+}
+
+// Run executes the job and returns its result. stop, when non-nil, is
+// polled by the simulator; returning true aborts the run with
+// sim.ErrStopped. Run is safe to call from concurrent goroutines: every
+// invocation builds a private network and RNG from the job's seed, which
+// is what makes parallel sweeps bit-identical to sequential ones.
+func (j Job) Run(stop func() bool) (Result, error) {
+	j = j.Normalize()
+	res := Result{Job: j, Hash: j.Hash()}
+	g, alg, pat, cfg, err := j.build()
+	if err != nil {
+		return res, err
+	}
+	switch j.Mode {
+	case ModeLoad:
+		rc := sim.RunConfig{
+			Load: j.Load, Pattern: pat,
+			Warmup: j.Warmup, Measure: j.Measure, MaxCycles: j.MaxCycles,
+			Stop: stop,
+		}
+		res.Point, err = sim.RunLoadPoint(g, alg, cfg, rc)
+	case ModeSaturation:
+		// Full offered load, no drain: the accepted rate over the
+		// measurement window is the figure of merit.
+		rc := sim.RunConfig{
+			Load: 1.0, Pattern: pat,
+			Warmup: j.Warmup, Measure: j.Measure,
+			MaxCycles: j.Warmup + j.Measure + 1,
+			Stop:      stop,
+		}
+		res.Point, err = sim.RunLoadPoint(g, alg, cfg, rc)
+	case ModeBatch:
+		res.Batch, err = sim.RunBatchStop(g, alg, cfg, pat, j.BatchSize, j.MaxCycles, stop)
+	default:
+		err = fmt.Errorf("sweep: unknown mode %q", j.Mode)
+	}
+	if err != nil {
+		return res, fmt.Errorf("sweep: job %s (%s %s %s load %.2f): %w", j.Hash()[:12], j.Net, j.Alg, j.Mode, j.Load, err)
+	}
+	return res, nil
+}

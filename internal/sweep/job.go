@@ -1,0 +1,181 @@
+// Package sweep is the experiment-orchestration engine: it turns the
+// repository's ad-hoc load loops into batches of independent, hashable
+// simulation jobs executed by a worker pool with a durable on-disk
+// result cache.
+//
+// A Job is a pure-value description of one simulation — network
+// constructor, routing algorithm, traffic pattern, load point, window
+// lengths and seed. Every randomness in a run derives from the job's own
+// Seed (each job owns a fresh network and RNG), so a job's result is a
+// function of the job alone: results are bit-identical whether jobs run
+// sequentially, in parallel, or on different machines, and a stable
+// content hash of the job fields can key a result cache across runs.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"flatnet/internal/sim"
+)
+
+// Execution modes.
+const (
+	// ModeLoad measures one open-loop load point (§3.2 methodology).
+	ModeLoad = "load"
+	// ModeSaturation measures accepted rate at full offered load.
+	ModeSaturation = "saturation"
+	// ModeBatch runs the Fig. 5 batch experiment.
+	ModeBatch = "batch"
+)
+
+// Job describes one independent simulation. The zero values of optional
+// fields select the same defaults the underlying simulator uses, and
+// Normalize makes those defaults explicit so that equivalent jobs hash
+// identically.
+type Job struct {
+	// Net selects the network constructor: "flatfly", "butterfly",
+	// "foldedclos" or "hypercube". See build.go for the parameter
+	// conventions of each.
+	Net string `json:"net"`
+	// K and N parameterize the constructor (ary and dimension count for
+	// flatfly/butterfly; N is the dimension count for hypercube).
+	K int `json:"k,omitempty"`
+	N int `json:"n,omitempty"`
+	// Uplinks, Leaves and Middles are the extra folded-Clos parameters
+	// (K is the terminals-per-leaf count).
+	Uplinks int `json:"uplinks,omitempty"`
+	Leaves  int `json:"leaves,omitempty"`
+	Middles int `json:"middles,omitempty"`
+	// ChannelLatency is the inter-router channel latency in cycles
+	// (0 means the topology default of 1). Flattened butterfly only.
+	ChannelLatency int `json:"channel_latency,omitempty"`
+	// Multiplicity is the number of parallel channels per link
+	// (0 means 1). Flattened butterfly only.
+	Multiplicity int `json:"multiplicity,omitempty"`
+
+	// Alg names the routing algorithm, in the constructor's vocabulary
+	// (e.g. "MIN AD", "VAL", "UGAL", "UGAL-S", "CLOS AD" for flatfly).
+	Alg string `json:"alg"`
+	// Pattern names the traffic pattern: "UR", "WC", "BC", "TP", "SH",
+	// "TOR" or "RP".
+	Pattern string `json:"pattern"`
+	// Conc is the group concentration for the WC and TOR patterns
+	// (0 means K).
+	Conc int `json:"conc,omitempty"`
+
+	// Mode selects the measurement: ModeLoad (default), ModeSaturation
+	// or ModeBatch.
+	Mode string `json:"mode"`
+	// Load is the offered load for ModeLoad (ModeSaturation always
+	// offers 1.0).
+	Load float64 `json:"load,omitempty"`
+	// Warmup, Measure and MaxCycles parameterize the measurement window
+	// as in sim.RunConfig. MaxCycles 0 keeps the simulator default; for
+	// ModeBatch it bounds the batch drain (0 = simulator default).
+	Warmup    int `json:"warmup,omitempty"`
+	Measure   int `json:"measure,omitempty"`
+	MaxCycles int `json:"max_cycles,omitempty"`
+	// BatchSize is the per-node packet count for ModeBatch.
+	BatchSize int `json:"batch_size,omitempty"`
+
+	// Seed drives every random stream of the job's simulation.
+	Seed uint64 `json:"seed"`
+	// BufPerPort is the flit buffering per input port (0 means 32, the
+	// paper's §3.2 configuration).
+	BufPerPort int `json:"buf_per_port,omitempty"`
+	// PacketSize is flits per packet (0 means 1).
+	PacketSize int `json:"packet_size,omitempty"`
+	// Speedup, AgeArbiter and RouterDelay map to sim.Config.
+	Speedup     int  `json:"speedup,omitempty"`
+	AgeArbiter  bool `json:"age_arbiter,omitempty"`
+	RouterDelay int  `json:"router_delay,omitempty"`
+}
+
+// Normalize returns the job with every defaulted field made explicit and
+// pattern aliases canonicalized, so equivalent jobs compare and hash
+// equal. It does not validate; invalid jobs fail at build time.
+func (j Job) Normalize() Job {
+	if j.Mode == "" {
+		j.Mode = ModeLoad
+	}
+	if j.BufPerPort == 0 {
+		j.BufPerPort = 32
+	}
+	if j.PacketSize == 0 {
+		j.PacketSize = 1
+	}
+	if j.Multiplicity == 0 {
+		j.Multiplicity = 1
+	}
+	if j.ChannelLatency == 0 {
+		j.ChannelLatency = 1
+	}
+	if j.Conc == 0 {
+		j.Conc = j.K
+	}
+	switch j.Pattern {
+	case "uniform":
+		j.Pattern = "UR"
+	case "worstcase":
+		j.Pattern = "WC"
+	case "bitcomp":
+		j.Pattern = "BC"
+	case "transpose":
+		j.Pattern = "TP"
+	case "shuffle":
+		j.Pattern = "SH"
+	case "tornado":
+		j.Pattern = "TOR"
+	case "randperm":
+		j.Pattern = "RP"
+	}
+	return j
+}
+
+// hashVersion is bumped whenever the canonical encoding or the meaning
+// of any Job field changes, invalidating every cached result.
+const hashVersion = "sweep/v1"
+
+// canonical renders the normalized job as a fixed-order field string.
+// Every field participates, so changing any field — including seed and
+// scale — yields a different hash.
+func (j Job) canonical() string {
+	n := j.Normalize()
+	return fmt.Sprintf("%s|net=%s|k=%d|n=%d|up=%d|lv=%d|mid=%d|cl=%d|mul=%d|alg=%s|pat=%s|conc=%d|mode=%s|load=%.17g|warm=%d|meas=%d|max=%d|batch=%d|seed=%d|buf=%d|pkt=%d|spd=%d|age=%t|rd=%d",
+		hashVersion, n.Net, n.K, n.N, n.Uplinks, n.Leaves, n.Middles,
+		n.ChannelLatency, n.Multiplicity, n.Alg, n.Pattern, n.Conc,
+		n.Mode, n.Load, n.Warmup, n.Measure, n.MaxCycles, n.BatchSize,
+		n.Seed, n.BufPerPort, n.PacketSize, n.Speedup, n.AgeArbiter,
+		n.RouterDelay)
+}
+
+// Hash returns the job's stable content hash: the hex SHA-256 of the
+// canonical field encoding. Equal hashes mean equal (normalized) jobs.
+func (j Job) Hash() string {
+	sum := sha256.Sum256([]byte(j.canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Result is the outcome of one job. Point is filled for ModeLoad and
+// ModeSaturation, Batch for ModeBatch. Results round-trip through the
+// JSON-lines cache, so every persistent field is exported and tagged.
+type Result struct {
+	Job  Job    `json:"job"`
+	Hash string `json:"hash"`
+	// Point holds the load-point sample; for ModeSaturation only
+	// AcceptedRate is meaningful.
+	Point sim.LoadPointResult `json:"point,omitempty"`
+	// Batch holds the ModeBatch outcome.
+	Batch sim.BatchResult `json:"batch,omitempty"`
+	// ElapsedSeconds is the wall-clock cost of the original simulation
+	// (preserved verbatim for cache hits).
+	ElapsedSeconds float64 `json:"elapsed_s"`
+
+	// Cached reports the result was served from the cache, Skipped that
+	// the engine's saturation fast-path elided the simulation. Neither
+	// is persisted.
+	Cached  bool `json:"-"`
+	Skipped bool `json:"-"`
+}

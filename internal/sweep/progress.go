@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// progress event kinds, reported by the engine as each job settles.
+const (
+	progSimulated = iota
+	progCached
+	progSkipped
+	progFailed
+)
+
+// progress renders live "done/total + ETA" lines and the final
+// per-worker throughput report. A nil writer disables all output. Lines
+// are throttled so a fast sweep does not flood stderr.
+type progress struct {
+	w       io.Writer
+	total   int
+	workers int
+	start   time.Time
+
+	mu   sync.Mutex
+	done int
+	sim  int
+	hit  int
+	skip int
+	fail int
+	last time.Time
+}
+
+// progressInterval is the minimum spacing between live progress lines.
+const progressInterval = 500 * time.Millisecond
+
+func newProgress(w io.Writer, total, workers int) *progress {
+	return &progress{w: w, total: total, workers: workers, start: time.Now()}
+}
+
+func (p *progress) step(kind int) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	switch kind {
+	case progSimulated:
+		p.sim++
+	case progCached:
+		p.hit++
+	case progSkipped:
+		p.skip++
+	case progFailed:
+		p.fail++
+	}
+	now := time.Now()
+	if now.Sub(p.last) < progressInterval && p.done != p.total {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start)
+	eta := "?"
+	if p.done > 0 && p.done < p.total {
+		remain := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		eta = remain.Round(100 * time.Millisecond).String()
+	}
+	fmt.Fprintf(p.w, "sweep: %d/%d jobs (%d simulated, %d cached, %d skipped, %d failed) elapsed %s eta %s\n",
+		p.done, p.total, p.sim, p.hit, p.skip, p.fail,
+		elapsed.Round(100*time.Millisecond), eta)
+}
+
+// finish prints the batch summary and per-worker throughput. Workers
+// that never ran a job are reported too — seeing "worker 1: 0 jobs" is
+// the honest answer on a saturated pool, not a formatting bug.
+func (p *progress) finish(wstats []WorkerStats, sim, hit, skip, fail int) {
+	if p.w == nil {
+		return
+	}
+	elapsed := time.Since(p.start)
+	fmt.Fprintf(p.w, "sweep: done: %d jobs in %s — %d simulated, %d cache hits, %d skipped, %d failed\n",
+		p.total, elapsed.Round(time.Millisecond), sim, hit, skip, fail)
+	for w, s := range wstats {
+		rate := 0.0
+		if s.Busy > 0 {
+			rate = float64(s.Jobs) / s.Busy.Seconds()
+		}
+		fmt.Fprintf(p.w, "sweep: worker %d: %d jobs, busy %s (%.1f jobs/s)\n",
+			w, s.Jobs, s.Busy.Round(time.Millisecond), rate)
+	}
+}

@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+
+	"flatnet/internal/sim"
+)
+
+// SeriesSpec describes one latency-versus-load curve: the Base job run
+// once per load in ascending order, optionally followed by a
+// saturation-throughput measurement at full offered load.
+type SeriesSpec struct {
+	// Base is the job template; its Mode and Load fields are overridden
+	// per point.
+	Base Job
+	// Loads is the offered-load sweep, ascending.
+	Loads []float64
+	// Saturation adds a ModeSaturation job sharing Base's windows.
+	Saturation bool
+}
+
+// SeriesResult is one curve's outcome, shaped like the sequential
+// sim.LoadSweep path: once two consecutive points saturate, every higher
+// load is reported as a bare saturated point without being simulated.
+type SeriesResult struct {
+	Points               []sim.LoadPointResult
+	SaturationThroughput float64
+}
+
+// RunSeries executes a set of load sweeps as one flat job batch, so
+// points from every curve fill the worker pool together. It preserves
+// the sequential early-exit semantics exactly: each point's simulation
+// is a pure function of its job, and the post-saturation tail collapse
+// is applied to the completed results, so a parallel RunSeries is
+// bit-identical to running sim.LoadSweep per curve.
+//
+// As a fast-path, a point is skipped outright (never simulated) when two
+// consecutive lower-load points of its own curve have already completed
+// saturated — the sequential path would provably never have run it.
+func (e *Engine) RunSeries(ctx context.Context, specs []SeriesSpec) ([]SeriesResult, error) {
+	var jobs []Job
+	type span struct{ start, sat int } // sat = -1 when absent
+	spans := make([]span, len(specs))
+	series := make([]int, 0) // flat job index -> spec index
+	offset := make([]int, 0) // flat job index -> load index (-1 for saturation)
+	for si, sp := range specs {
+		spans[si].start = len(jobs)
+		spans[si].sat = -1
+		for _, l := range sp.Loads {
+			j := sp.Base
+			j.Mode = ModeLoad
+			j.Load = l
+			jobs = append(jobs, j)
+			series = append(series, si)
+			offset = append(offset, len(jobs)-1-spans[si].start)
+		}
+		if sp.Saturation {
+			j := sp.Base
+			j.Mode = ModeSaturation
+			j.Load = 0
+			j.MaxCycles = 0
+			spans[si].sat = len(jobs)
+			jobs = append(jobs, j)
+			series = append(series, si)
+			offset = append(offset, -1)
+		}
+	}
+
+	// saturated[si][li] records completed load points: unknown (0),
+	// not-saturated (1) or saturated (2).
+	tr := &satTracker{state: make([][]uint8, len(specs))}
+	for si, sp := range specs {
+		tr.state[si] = make([]uint8, len(sp.Loads))
+	}
+	skip := func(i int) bool {
+		li := offset[i]
+		if li < 0 {
+			return false // saturation jobs always run
+		}
+		return tr.tailKnown(series[i], li)
+	}
+	onDone := func(i int, r Result) {
+		li := offset[i]
+		if li < 0 || r.Skipped {
+			return
+		}
+		tr.record(series[i], li, r.Point.Saturated)
+	}
+	results, err := e.run(ctx, jobs, skip, onDone)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]SeriesResult, len(specs))
+	for si, sp := range specs {
+		pts := make([]sim.LoadPointResult, len(sp.Loads))
+		satRun := 0
+		for li, l := range sp.Loads {
+			r := results[spans[si].start+li]
+			if satRun >= 2 || r.Skipped {
+				// The sequential path stops simulating here and emits
+				// bare saturated markers for the rest of the sweep.
+				pts[li] = sim.LoadPointResult{Load: l, Saturated: true}
+				satRun++
+				continue
+			}
+			pts[li] = r.Point
+			if r.Point.Saturated {
+				satRun++
+			} else {
+				satRun = 0
+			}
+		}
+		out[si] = SeriesResult{Points: pts}
+		if spans[si].sat >= 0 {
+			out[si].SaturationThroughput = results[spans[si].sat].Point.AcceptedRate
+		}
+	}
+	return out, nil
+}
+
+// satTracker shares completed saturation outcomes between workers so the
+// skip predicate can elide provably-dead points.
+type satTracker struct {
+	mu    sync.Mutex
+	state [][]uint8 // 0 unknown, 1 completed not saturated, 2 completed saturated
+}
+
+func (t *satTracker) record(si, li int, saturated bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if saturated {
+		t.state[si][li] = 2
+	} else {
+		t.state[si][li] = 1
+	}
+}
+
+// tailKnown reports whether two consecutive completed-saturated points
+// exist strictly below load index li — exactly the condition under which
+// the sequential sweep would already have stopped before reaching li.
+func (t *satTracker) tailKnown(si, li int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state[si]
+	for j := 0; j+1 < li; j++ {
+		if s[j] == 2 && s[j+1] == 2 {
+			return true
+		}
+	}
+	return false
+}
