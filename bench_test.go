@@ -305,6 +305,50 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 	b.ReportMetric(float64(ff.NumNodes), "nodes")
 }
 
+// BenchmarkTelemetryOff is the zero-overhead-when-off guard: the exact
+// BenchmarkSimulatorCycles workload on a network with no probes or
+// tracer attached, exercising every telemetry nil-check in the pipeline.
+// Compare against BenchmarkSimulatorCycles from the pre-telemetry seed;
+// the two must stay within noise (~2%) of each other.
+func BenchmarkTelemetryOff(b *testing.B) {
+	ff, err := flatnet.NewFlatFly(32, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := flatnet.NewNetwork(ff.Graph(), flatnet.NewClosAD(ff), flatnet.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.SetPattern(flatnet.NewUniform(ff.NumNodes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.GenerateBernoulli(0.5)
+		n.Step()
+	}
+	b.ReportMetric(float64(ff.NumNodes), "nodes")
+}
+
+// BenchmarkTelemetryProbes measures the same workload with the probe
+// registry attached at the default stride — the instrumented-on cost.
+func BenchmarkTelemetryProbes(b *testing.B) {
+	ff, err := flatnet.NewFlatFly(32, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := flatnet.NewNetwork(ff.Graph(), flatnet.NewClosAD(ff), flatnet.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.SetPattern(flatnet.NewUniform(ff.NumNodes))
+	p := n.AttachProbes(flatnet.ProbeConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.GenerateBernoulli(0.5)
+		n.Step()
+	}
+	b.ReportMetric(float64(p.Samples), "probe_samples")
+}
+
 // --- Ablation benchmarks: the design choices DESIGN.md calls out. ---
 
 // BenchmarkAblation_GreedyVsSequential quantifies the sequential

@@ -12,46 +12,89 @@
 //	flatsim -topo ff -k 32 -n 2 -alg ugal-s -pattern worstcase -batch 16
 //	flatsim -topo ff -k 32 -n 2 -alg clos -window 4            # request-reply
 //	flatsim -topo ff -k 16 -n 2 -trace run.trace               # replay a trace
+//	flatsim -topo ff -k 8 -n 2 -load 0.4 -flittrace run.json   # flit trace
+//	flatsim -topo ff -k 16 -n 2 -sweep -listen localhost:6060  # live metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"flatnet"
+	"flatnet/internal/sim"
 )
 
 func main() {
-	var (
-		topoName = flag.String("topo", "ff", "topology: ff | butterfly | clos | hypercube")
-		k        = flag.Int("k", 32, "ary (terminals per router for ff/clos groups)")
-		n        = flag.Int("n", 2, "stages (ff/butterfly: network has k^n nodes)")
-		dims     = flag.Int("dims", 10, "hypercube dimensions")
-		taper    = flag.Int("taper", 2, "folded-Clos taper (terminals/uplinks ratio)")
-		algName  = flag.String("alg", "clos", "ff algorithm: min | val | ugal | ugal-s | clos")
-		pattern  = flag.String("pattern", "uniform", "traffic: uniform | worstcase | bitcomp | tornado")
-		load     = flag.Float64("load", 0.5, "offered load (fraction of capacity)")
-		sweep    = flag.Bool("sweep", false, "sweep loads 0.1..0.95 instead of one point")
-		batch    = flag.Int("batch", 0, "run a batch experiment of this size instead of open-loop")
-		trace    = flag.String("trace", "", "replay a text trace file (cycle src dst per line) instead of synthetic traffic")
-		window   = flag.Int("window", 0, "run a closed-loop request-reply workload with this many outstanding requests per node")
-		warmup   = flag.Int("warmup", 1000, "warm-up cycles")
-		measure  = flag.Int("measure", 1000, "measurement cycles")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		buf      = flag.Int("buf", 32, "flit buffers per port")
-	)
+	var o runOpts
+	flag.StringVar(&o.topo, "topo", "ff", "topology: ff | butterfly | clos | hypercube")
+	flag.IntVar(&o.k, "k", 32, "ary (terminals per router for ff/clos groups)")
+	flag.IntVar(&o.n, "n", 2, "stages (ff/butterfly: network has k^n nodes)")
+	flag.IntVar(&o.dims, "dims", 10, "hypercube dimensions")
+	flag.IntVar(&o.taper, "taper", 2, "folded-Clos taper (terminals/uplinks ratio)")
+	flag.StringVar(&o.alg, "alg", "clos", "ff algorithm: min | val | ugal | ugal-s | clos")
+	flag.StringVar(&o.pattern, "pattern", "uniform", "traffic: uniform | worstcase | bitcomp | tornado")
+	flag.Float64Var(&o.load, "load", 0.5, "offered load (fraction of capacity)")
+	flag.BoolVar(&o.sweep, "sweep", false, "sweep loads 0.1..0.95 instead of one point")
+	flag.IntVar(&o.batch, "batch", 0, "run a batch experiment of this size instead of open-loop")
+	flag.StringVar(&o.trace, "trace", "", "replay a text trace file (cycle src dst per line) instead of synthetic traffic")
+	flag.IntVar(&o.window, "window", 0, "run a closed-loop request-reply workload with this many outstanding requests per node")
+	flag.IntVar(&o.warmup, "warmup", 1000, "warm-up cycles")
+	flag.IntVar(&o.measure, "measure", 1000, "measurement cycles")
+	flag.Uint64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.IntVar(&o.buf, "buf", 32, "flit buffers per port")
+	flag.StringVar(&o.listen, "listen", "", "serve live metrics (/debug/vars, /debug/pprof) on this address during the run")
+	flag.StringVar(&o.flitTrace, "flittrace", "", "write a flit event trace of an open-loop run to this file (.jsonl for JSON lines, anything else for Chrome trace JSON)")
+	flag.IntVar(&o.traceCap, "tracecap", 1<<16, "flit tracer ring capacity in events (oldest evicted when full)")
 	flag.Parse()
 
-	if err := run(*topoName, *k, *n, *dims, *taper, *algName, *pattern, *trace,
-		*load, *sweep, *batch, *window, *warmup, *measure, *seed, *buf); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "flatsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoName string, k, n, dims, taper int, algName, patternName, traceFile string,
-	load float64, sweep bool, batch, window, warmup, measure int, seed uint64, buf int) error {
+// runOpts collects every flag; run is pure in it, which is what the
+// tests drive.
+type runOpts struct {
+	topo      string
+	k, n      int
+	dims      int
+	taper     int
+	alg       string
+	pattern   string
+	trace     string
+	load      float64
+	sweep     bool
+	batch     int
+	window    int
+	warmup    int
+	measure   int
+	seed      uint64
+	buf       int
+	listen    string
+	flitTrace string
+	traceCap  int
+}
+
+// telemetryReg is process-global: the expvar namespace is write-once,
+// so every run in the process shares one registry.
+var telemetryReg = flatnet.NewTelemetryRegistry()
+
+func run(o runOpts) error {
+	if o.listen != "" {
+		telemetryReg.Gauge("sim_live", func() any { return sim.Live.Snapshot() })
+		if err := telemetryReg.Publish("flatnet"); err != nil {
+			return err
+		}
+		srv, err := flatnet.ServeTelemetry(o.listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "flatsim: serving metrics on http://%s/debug/vars\n", srv.Addr())
+	}
 
 	var (
 		g     *flatnet.Graph
@@ -60,13 +103,13 @@ func run(topoName string, k, n, dims, taper int, algName, patternName, traceFile
 		conc  int // concentration for group patterns
 		err   error
 	)
-	switch topoName {
+	switch o.topo {
 	case "ff":
-		ff, e := flatnet.NewFlatFly(k, n)
+		ff, e := flatnet.NewFlatFly(o.k, o.n)
 		if e != nil {
 			return e
 		}
-		alg, err = flatnet.NewFlatFlyAlgorithm(algName, ff)
+		alg, err = flatnet.NewFlatFlyAlgorithm(o.alg, ff)
 		if err != nil {
 			return err
 		}
@@ -74,7 +117,7 @@ func run(topoName string, k, n, dims, taper int, algName, patternName, traceFile
 		fmt.Printf("topology: %s (N=%d, routers=%d, radix k'=%d), routing: %s\n",
 			ff.Name(), ff.NumNodes, ff.NumRouters, ff.Radix, alg.Name())
 	case "butterfly":
-		b, e := flatnet.NewButterfly(k, n)
+		b, e := flatnet.NewButterfly(o.k, o.n)
 		if e != nil {
 			return e
 		}
@@ -82,10 +125,10 @@ func run(topoName string, k, n, dims, taper int, algName, patternName, traceFile
 		g, nodes, conc = b.Graph(), b.NumNodes, b.K
 		fmt.Printf("topology: %s (N=%d), routing: destination-based\n", b.Name(), b.NumNodes)
 	case "clos":
-		if taper < 1 {
+		if o.taper < 1 {
 			return fmt.Errorf("taper must be >= 1")
 		}
-		fc, e := flatnet.NewFoldedClos(k, k/taper, k, max(1, k/(2*taper)))
+		fc, e := flatnet.NewFoldedClos(o.k, o.k/o.taper, o.k, max(1, o.k/(2*o.taper)))
 		if e != nil {
 			return e
 		}
@@ -93,7 +136,7 @@ func run(topoName string, k, n, dims, taper int, algName, patternName, traceFile
 		g, nodes, conc = fc.Graph(), fc.NumNodes, fc.Terminals
 		fmt.Printf("topology: %s (N=%d), routing: adaptive sequential\n", fc.Name(), fc.NumNodes)
 	case "hypercube":
-		h, e := flatnet.NewHypercube(dims)
+		h, e := flatnet.NewHypercube(o.dims)
 		if e != nil {
 			return e
 		}
@@ -101,11 +144,11 @@ func run(topoName string, k, n, dims, taper int, algName, patternName, traceFile
 		g, nodes, conc = h.Graph(), h.NumNodes, 1
 		fmt.Printf("topology: %s (N=%d), routing: e-cube\n", h.Name(), h.NumNodes)
 	default:
-		return fmt.Errorf("unknown topology %q", topoName)
+		return fmt.Errorf("unknown topology %q", o.topo)
 	}
 
 	var p flatnet.Pattern
-	switch patternName {
+	switch o.pattern {
 	case "uniform":
 		p = flatnet.NewUniform(nodes)
 	case "worstcase":
@@ -118,29 +161,29 @@ func run(topoName string, k, n, dims, taper int, algName, patternName, traceFile
 	case "tornado":
 		p = flatnet.NewTornado(conc, nodes/conc)
 	default:
-		return fmt.Errorf("unknown pattern %q", patternName)
+		return fmt.Errorf("unknown pattern %q", o.pattern)
 	}
 
-	cfg := flatnet.Config{Seed: seed, BufPerPort: buf}
+	cfg := flatnet.Config{Seed: o.seed, BufPerPort: o.buf}
 
-	if traceFile != "" {
-		return runTrace(g, alg, cfg, traceFile)
+	if o.trace != "" {
+		return runTrace(g, alg, cfg, o.trace)
 	}
 
-	if window > 0 {
+	if o.window > 0 {
 		res, err := flatnet.RunClosedLoop(g, alg, cfg, flatnet.ClosedLoopConfig{
-			Window: window, Pattern: p, Warmup: warmup, Measure: measure,
+			Window: o.window, Pattern: p, Warmup: o.warmup, Measure: o.measure,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("closed loop, window %d: avg round trip %.2f cycles (p99 %d), %.4f requests/node/cycle\n",
-			window, res.AvgRoundTrip, res.P99RoundTrip, res.RequestRate)
+			o.window, res.AvgRoundTrip, res.P99RoundTrip, res.RequestRate)
 		return nil
 	}
 
-	if batch > 0 {
-		res, err := flatnet.RunBatch(g, alg, cfg, p, batch, 0)
+	if o.batch > 0 {
+		res, err := flatnet.RunBatch(g, alg, cfg, p, o.batch, 0)
 		if err != nil {
 			return err
 		}
@@ -149,25 +192,99 @@ func run(topoName string, k, n, dims, taper int, algName, patternName, traceFile
 		return nil
 	}
 
-	loads := []float64{load}
-	if sweep {
-		loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+	if !o.sweep {
+		return runPoint(g, alg, cfg, p, o)
 	}
-	rc := flatnet.RunConfig{Pattern: p, Warmup: warmup, Measure: measure}
+
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+	rc := flatnet.RunConfig{Pattern: p, Warmup: o.warmup, Measure: o.measure}
 	results, err := flatnet.LoadSweep(g, alg, cfg, rc, loads)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-6s  %-12s  %-8s  %-10s  %s\n", "load", "avg latency", "p99", "accepted", "status")
+	fmt.Printf("%-6s  %-12s  %-6s  %-6s  %-6s  %-6s  %-10s  %s\n",
+		"load", "avg latency", "p50", "p95", "p99", "max", "accepted", "status")
 	for _, r := range results {
 		status := "ok"
 		if r.Saturated {
 			status = "saturated"
 		}
-		fmt.Printf("%-6.2f  %-12.2f  %-8d  %-10.3f  %s\n",
-			r.Load, r.AvgLatency, r.P99Latency, r.AcceptedRate, status)
+		fmt.Printf("%-6.2f  %-12.2f  %-6d  %-6d  %-6d  %-6d  %-10.3f  %s\n",
+			r.Load, r.AvgLatency, r.P50Latency, r.P95Latency, r.P99Latency, r.MaxLatency,
+			r.AcceptedRate, status)
 	}
 	return nil
+}
+
+// runPoint measures a single open-loop load point with probes attached,
+// reporting latency percentiles and the hottest channels, and optionally
+// recording a flit trace.
+func runPoint(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, p flatnet.Pattern, o runOpts) error {
+	rc := flatnet.RunConfig{
+		Load: o.load, Pattern: p, Warmup: o.warmup, Measure: o.measure,
+		Probes: &flatnet.ProbeConfig{},
+	}
+	var tracer *flatnet.Tracer
+	if o.flitTrace != "" {
+		tracer = flatnet.NewTracer(o.traceCap)
+		rc.Tracer = tracer
+	}
+	var top []flatnet.ProbeChannel
+	var probes *flatnet.Probes
+	rc.Observe = func(n *flatnet.Network) {
+		probes = n.Probes()
+		top = probes.TopChannels(5)
+	}
+	r, err := flatnet.RunLoadPoint(g, alg, cfg, rc)
+	if err != nil {
+		return err
+	}
+	status := ""
+	if r.Saturated {
+		status = " [saturated]"
+	}
+	fmt.Printf("load %.2f: avg latency %.2f cycles (p50 %d, p95 %d, p99 %d, max %d), accepted %.3f%s\n",
+		r.Load, r.AvgLatency, r.P50Latency, r.P95Latency, r.P99Latency, r.MaxLatency,
+		r.AcceptedRate, status)
+	if probes != nil {
+		fmt.Printf("pipeline: %d grants, %d conflicts, %d credit stalls, %d vc stalls, mean buffered %.1f flits\n",
+			probes.Grants, probes.Conflicts, probes.CreditStalls, probes.VCStalls,
+			probes.MeanBufferedFlits())
+	}
+	if len(top) > 0 {
+		fmt.Println("hottest channels (probed flits over retained window):")
+		for _, c := range top {
+			fmt.Printf("  router %d port %d: %d flits (%.3f flits/cycle)\n",
+				c.Router, c.Port, c.Flits, c.Rate)
+		}
+	}
+	if tracer != nil {
+		if err := writeFlitTrace(o.flitTrace, tracer); err != nil {
+			return err
+		}
+		fmt.Printf("flit trace: %d events (%d evicted) -> %s\n",
+			tracer.Len(), tracer.Dropped(), o.flitTrace)
+	}
+	return nil
+}
+
+// writeFlitTrace serializes a tracer's events: JSON lines for .jsonl
+// paths, Chrome trace JSON otherwise.
+func writeFlitTrace(path string, t *flatnet.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".jsonl") {
+		werr = flatnet.WriteTraceJSONL(f, t.Events())
+	} else {
+		werr = flatnet.WriteChromeTrace(f, t.Events())
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // runTrace replays a recorded trace to completion and reports latency.

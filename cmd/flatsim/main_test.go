@@ -4,47 +4,77 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"flatnet"
 )
+
+// opts returns a baseline runOpts the tests tweak per case.
+func opts() runOpts {
+	return runOpts{
+		topo: "ff", k: 8, n: 2, dims: 6, taper: 2,
+		alg: "clos", pattern: "uniform",
+		load: 0.2, warmup: 200, measure: 200, seed: 1, buf: 32,
+		traceCap: 1 << 14,
+	}
+}
 
 func TestRunOpenLoop(t *testing.T) {
 	for _, topo := range []string{"ff", "butterfly", "clos", "hypercube"} {
-		if err := run(topo, 8, 2, 6, 2, "clos", "uniform", "",
-			0.2, false, 0, 0, 200, 200, 1, 32); err != nil {
+		o := opts()
+		o.topo = topo
+		if err := run(o); err != nil {
 			t.Errorf("%s: %v", topo, err)
 		}
 	}
 }
 
 func TestRunSweepAndBatch(t *testing.T) {
-	if err := run("ff", 4, 2, 6, 2, "ugal-s", "worstcase", "",
-		0, true, 0, 0, 100, 100, 1, 32); err != nil {
+	o := opts()
+	o.k, o.alg, o.pattern, o.load = 4, "ugal-s", "worstcase", 0
+	o.sweep = true
+	o.warmup, o.measure = 100, 100
+	if err := run(o); err != nil {
 		t.Errorf("sweep: %v", err)
 	}
-	if err := run("ff", 4, 2, 6, 2, "clos", "worstcase", "",
-		0, false, 4, 0, 100, 100, 1, 32); err != nil {
+	o = opts()
+	o.k, o.alg, o.pattern, o.load = 4, "clos", "worstcase", 0
+	o.batch = 4
+	o.warmup, o.measure = 100, 100
+	if err := run(o); err != nil {
 		t.Errorf("batch: %v", err)
 	}
 }
 
 func TestRunPatterns(t *testing.T) {
 	for _, p := range []string{"uniform", "worstcase", "bitcomp", "tornado"} {
-		if err := run("ff", 4, 2, 6, 2, "min", p, "", 0.1, false, 0, 0, 100, 100, 1, 32); err != nil {
+		o := opts()
+		o.k, o.alg, o.pattern, o.load = 4, "min", p, 0.1
+		o.warmup, o.measure = 100, 100
+		if err := run(o); err != nil {
 			t.Errorf("%s: %v", p, err)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", 8, 2, 6, 2, "clos", "uniform", "", 0.2, false, 0, 0, 100, 100, 1, 32); err == nil {
+	o := opts()
+	o.topo = "bogus"
+	if err := run(o); err == nil {
 		t.Error("unknown topology accepted")
 	}
-	if err := run("ff", 8, 2, 6, 2, "bogus", "uniform", "", 0.2, false, 0, 0, 100, 100, 1, 32); err == nil {
+	o = opts()
+	o.alg = "bogus"
+	if err := run(o); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run("ff", 8, 2, 6, 2, "clos", "bogus", "", 0.2, false, 0, 0, 100, 100, 1, 32); err == nil {
+	o = opts()
+	o.pattern = "bogus"
+	if err := run(o); err == nil {
 		t.Error("unknown pattern accepted")
 	}
-	if err := run("clos", 8, 2, 6, 0, "clos", "uniform", "", 0.2, false, 0, 0, 100, 100, 1, 32); err == nil {
+	o = opts()
+	o.topo, o.taper = "clos", 0
+	if err := run(o); err == nil {
 		t.Error("zero taper accepted")
 	}
 }
@@ -55,17 +85,74 @@ func TestRunTraceReplay(t *testing.T) {
 	if err := os.WriteFile(path, []byte("# test\n0 0 15\n1 3 8\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("ff", 4, 2, 6, 2, "clos", "uniform", path, 0, false, 0, 0, 100, 100, 1, 32); err != nil {
+	o := opts()
+	o.k, o.load = 4, 0
+	o.warmup, o.measure = 100, 100
+	o.trace = path
+	if err := run(o); err != nil {
 		t.Errorf("trace replay: %v", err)
 	}
-	if err := run("ff", 4, 2, 6, 2, "clos", "uniform", filepath.Join(dir, "missing"), 0, false, 0, 0, 100, 100, 1, 32); err == nil {
+	o.trace = filepath.Join(dir, "missing")
+	if err := run(o); err == nil {
 		t.Error("missing trace file accepted")
 	}
 }
 
 func TestRunClosedLoop(t *testing.T) {
-	if err := run("ff", 4, 2, 6, 2, "clos", "uniform", "",
-		0, false, 0, 2, 200, 400, 1, 32); err != nil {
+	o := opts()
+	o.k, o.load = 4, 0
+	o.window = 2
+	o.warmup, o.measure = 200, 400
+	if err := run(o); err != nil {
 		t.Errorf("closed loop: %v", err)
+	}
+}
+
+// TestRunFlitTrace exercises the -flittrace path in both formats and
+// checks the Chrome export round-trips.
+func TestRunFlitTrace(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"t.json", "t.jsonl"} {
+		path := filepath.Join(dir, name)
+		o := opts()
+		o.k, o.load = 4, 0.1
+		o.warmup, o.measure = 100, 100
+		o.flitTrace = path
+		if err := run(o); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []flatnet.FlitEvent
+		if filepath.Ext(path) == ".jsonl" {
+			events, err = flatnet.ReadTraceJSONL(f)
+		} else {
+			events, err = flatnet.ReadChromeTrace(f)
+		}
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: read back: %v", name, err)
+		}
+		if len(events) == 0 {
+			t.Errorf("%s: empty flit trace", name)
+		}
+	}
+}
+
+// TestRunListen checks the metrics endpoint wiring does not break a run
+// (the endpoint itself is covered in internal/telemetry).
+func TestRunListen(t *testing.T) {
+	o := opts()
+	o.k = 4
+	o.warmup, o.measure = 100, 100
+	o.listen = "127.0.0.1:0"
+	if err := run(o); err != nil {
+		t.Errorf("listen: %v", err)
+	}
+	// A second run must tolerate the expvar name already being published.
+	if err := run(o); err != nil {
+		t.Errorf("listen (second run): %v", err)
 	}
 }

@@ -29,7 +29,9 @@ import (
 	"sort"
 	"strings"
 
+	"flatnet/internal/sim"
 	"flatnet/internal/sweep"
+	"flatnet/internal/telemetry"
 )
 
 func main() {
@@ -39,12 +41,22 @@ func main() {
 	parallel := flag.Bool("parallel", true, "run simulation jobs on a worker pool")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, at least 2)")
 	cachePath := flag.String("cache", "", "JSON-lines result cache file ('' disables caching)")
+	listen := flag.String("listen", "", "serve live metrics (/debug/vars, /debug/pprof) on this address during the run")
 	flag.Parse()
 
 	eng, closeCache, err := newEngine(*parallel, *workers, *cachePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
 		os.Exit(1)
+	}
+	if *listen != "" {
+		srv, err := serveTelemetry(*listen, eng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "paperfigs: serving metrics on http://%s/debug/vars\n", srv.Addr())
 	}
 	runErr := run(*fig, *out, *quick, eng)
 	reportEngine(eng)
@@ -81,6 +93,21 @@ func newEngine(parallel bool, workers int, cachePath string) (eng *sweep.Engine,
 		closeCache = func() { cache.Close() }
 	}
 	return eng, closeCache, nil
+}
+
+// telemetryReg is process-global: the expvar namespace is write-once,
+// so every run in the process shares one registry.
+var telemetryReg = telemetry.NewRegistry()
+
+// serveTelemetry publishes the engine's live counters and the simulator's
+// process-wide counters, then starts the metrics endpoint.
+func serveTelemetry(addr string, eng *sweep.Engine) (*telemetry.Server, error) {
+	eng.PublishVars(telemetryReg)
+	telemetryReg.Gauge("sim_live", func() any { return sim.Live.Snapshot() })
+	if err := telemetryReg.Publish("flatnet"); err != nil {
+		return nil, err
+	}
+	return telemetry.Serve(addr)
 }
 
 // reportEngine logs the engine's lifetime job and per-worker accounting,

@@ -29,7 +29,9 @@ import (
 	"strings"
 	"time"
 
+	"flatnet/internal/sim"
 	"flatnet/internal/sweep"
+	"flatnet/internal/telemetry"
 )
 
 // cliConfig carries the parsed grid spec.
@@ -48,6 +50,7 @@ type cliConfig struct {
 	workers    int
 	cachePath  string
 	jobTimeout time.Duration
+	listen     string
 }
 
 func main() {
@@ -70,6 +73,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.cachePath, "cache", "", "JSON-lines result cache file ('' disables caching)")
 	flag.DurationVar(&cfg.jobTimeout, "timeout", 0, "per-job wall-clock budget (0 = none)")
+	flag.StringVar(&cfg.listen, "listen", "", "serve live metrics (/debug/vars, /debug/pprof) on this address during the run")
 	flag.Parse()
 
 	cfg.algs = splitList(*algs)
@@ -97,6 +101,10 @@ func main() {
 	}
 }
 
+// telemetryReg is process-global: the expvar namespace is write-once,
+// so every run in the process shares one registry.
+var telemetryReg = telemetry.NewRegistry()
+
 // run executes the grid and writes one series block per pattern.
 func run(ctx context.Context, cfg cliConfig, out, progress io.Writer) error {
 	if len(cfg.algs) == 0 || len(cfg.patterns) == 0 || len(cfg.loads) == 0 {
@@ -110,6 +118,19 @@ func run(ctx context.Context, cfg cliConfig, out, progress io.Writer) error {
 		}
 		defer cache.Close()
 		eng.Cache = cache
+	}
+	if cfg.listen != "" {
+		eng.PublishVars(telemetryReg)
+		telemetryReg.Gauge("sim_live", func() any { return sim.Live.Snapshot() })
+		if err := telemetryReg.Publish("flatnet"); err != nil {
+			return err
+		}
+		srv, err := telemetry.Serve(cfg.listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(progress, "sweep: serving metrics on http://%s/debug/vars\n", srv.Addr())
 	}
 
 	// One series per (pattern, algorithm), all submitted as a single

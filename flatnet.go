@@ -38,6 +38,7 @@ import (
 	"flatnet/internal/power"
 	"flatnet/internal/routing"
 	"flatnet/internal/sim"
+	"flatnet/internal/telemetry"
 	"flatnet/internal/topo"
 	"flatnet/internal/traffic"
 )
@@ -168,6 +169,47 @@ var (
 	// RunClosedLoop executes a request-reply (remote-memory-access)
 	// workload with a per-node outstanding-request window.
 	RunClosedLoop = sim.RunClosedLoop
+)
+
+// Telemetry: router-pipeline probes, flit tracing and live metrics
+// (see the Telemetry section of DESIGN.md). All of it is
+// zero-overhead-when-off: a network without probes or a tracer attached
+// pays one nil check per hook.
+type (
+	// ProbeConfig parameterizes AttachProbes / RunConfig.Probes.
+	ProbeConfig = sim.ProbeConfig
+	// Probes is a network's attached probe registry: occupancy,
+	// stall/allocator counters and windowed per-channel load series.
+	Probes = sim.Probes
+	// ProbeChannel is one instrumented channel's windowed load view.
+	ProbeChannel = sim.ProbeChannel
+	// Tracer is a ring-buffered flit pipeline event tracer.
+	Tracer = telemetry.Tracer
+	// FlitEvent is one flit pipeline event (inject, route, VC alloc,
+	// crossbar, eject).
+	FlitEvent = telemetry.FlitEvent
+	// TelemetryRegistry names counters and gauges for a metrics endpoint.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryServer is a live /debug/vars + /debug/pprof HTTP endpoint.
+	TelemetryServer = telemetry.Server
+)
+
+var (
+	// NewTracer builds a flit tracer retaining at most capacity events.
+	NewTracer = telemetry.NewTracer
+	// WriteChromeTrace and ReadChromeTrace serialize flit events in the
+	// Chrome trace-event JSON format (chrome://tracing, ui.perfetto.dev);
+	// the round trip is lossless.
+	WriteChromeTrace = telemetry.WriteChromeTrace
+	ReadChromeTrace  = telemetry.ReadChromeTrace
+	// WriteTraceJSONL and ReadTraceJSONL serialize flit events as JSON
+	// lines for line-oriented tools.
+	WriteTraceJSONL = telemetry.WriteJSONL
+	ReadTraceJSONL  = telemetry.ReadJSONL
+	// NewTelemetryRegistry builds an empty named-metric registry.
+	NewTelemetryRegistry = telemetry.NewRegistry
+	// ServeTelemetry starts a live metrics endpoint on an address.
+	ServeTelemetry = telemetry.Serve
 )
 
 // Traffic patterns.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flatnet/internal/rng"
+	"flatnet/internal/telemetry"
 	"flatnet/internal/topo"
 )
 
@@ -171,6 +172,12 @@ type Network struct {
 	onDeliver          func(p *Packet, cycle int64)
 	onMaterialize      func(p *Packet)
 
+	// Telemetry hooks; nil (the default) means every pipeline hook is a
+	// single pointer check — the zero-overhead-when-off contract that
+	// BenchmarkTelemetryOff guards.
+	probes *Probes
+	tracer *telemetry.Tracer
+
 	injectedTotal  int64 // packets materialized into the network
 	deliveredTotal int64 // packets fully delivered (tail flit ejected)
 	flitsInjected  int64
@@ -329,6 +336,9 @@ func (n *Network) Step() {
 	n.inject()
 	n.routeAllocate()
 	n.switchAllocate()
+	if n.probes != nil && n.cycle%n.probes.stride == 0 {
+		n.sampleProbes()
+	}
 	n.cycle++
 }
 
@@ -350,6 +360,13 @@ func (n *Network) processEvents() {
 			op.pending[ev.vc]--
 		case evDeliver:
 			n.flitsDelivered++
+			if n.tracer != nil {
+				n.tracer.Record(telemetry.FlitEvent{
+					Cycle: n.cycle, Kind: telemetry.EvEject, Packet: ev.pkt.ID,
+					Src: int(ev.pkt.Src), Dst: int(ev.pkt.Dst),
+					Router: int(ev.router), Port: int(ev.port), VC: -1, Tail: ev.tail,
+				})
+			}
 			if !ev.tail {
 				break
 			}
@@ -398,16 +415,25 @@ func (n *Network) inject() {
 			}
 		}
 		r := n.g.NodeRouter[s.node]
-		ip := &n.routers[r].in[n.g.InjPort[s.node]]
+		inPort := n.g.InjPort[s.node]
+		ip := &n.routers[r].in[inPort]
 		q := &ip.vcs[0]
 		if q.full() {
 			continue
 		}
 		s.remaining--
-		q.push(flit{pkt: s.cur, tail: s.remaining == 0})
+		tail := s.remaining == 0
+		q.push(flit{pkt: s.cur, tail: tail})
 		ip.occ |= 1
 		n.flitsInjected++
-		if s.remaining == 0 {
+		if n.tracer != nil {
+			n.tracer.Record(telemetry.FlitEvent{
+				Cycle: n.cycle, Kind: telemetry.EvInject, Packet: s.cur.ID,
+				Src: int(s.cur.Src), Dst: int(s.cur.Dst),
+				Router: int(r), Port: inPort, VC: 0, Tail: tail,
+			})
+		}
+		if tail {
 			s.cur = nil
 		}
 	}

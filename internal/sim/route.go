@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"flatnet/internal/rng"
+	"flatnet/internal/telemetry"
 	"flatnet/internal/topo"
 )
 
@@ -27,6 +28,14 @@ func (n *Network) routeAllocate() {
 				dec := n.alg.Route(view, q.peek().pkt)
 				q.out = dec
 				q.routed = true
+				if n.tracer != nil {
+					pkt := q.peek().pkt
+					n.tracer.Record(telemetry.FlitEvent{
+						Cycle: n.cycle, Kind: telemetry.EvRoute, Packet: pkt.ID,
+						Src: int(pkt.Src), Dst: int(pkt.Dst),
+						Router: int(rt.id), Port: dec.Port, VC: dec.VC,
+					})
+				}
 				// Queue estimates are in flits: reserve the whole packet.
 				op := &rt.out[dec.Port]
 				op.delta[dec.VC] += n.cfg.PacketSize

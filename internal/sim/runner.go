@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"flatnet/internal/stats"
+	"flatnet/internal/telemetry"
 	"flatnet/internal/topo"
 	"flatnet/internal/traffic"
 )
@@ -40,6 +41,19 @@ type RunConfig struct {
 	// hook for context cancellation and wall-clock budgets, and it never
 	// perturbs the simulation's random streams.
 	Stop func() bool
+	// Probes, when non-nil, attaches router-pipeline probes (per-VC
+	// occupancy, credit-stall and allocator counters, windowed
+	// per-channel load series) to the run's network; read them back via
+	// Observe or Network.Probes. None of this perturbs the simulation.
+	Probes *ProbeConfig
+	// Tracer, when non-nil, receives every flit pipeline event (inject,
+	// route, VC allocation, crossbar traversal, eject) of the run.
+	Tracer *telemetry.Tracer
+	// Observe, when non-nil, is called with the run's network after the
+	// run completes (drained or saturated), before RunLoadPoint returns
+	// — the hook for end-of-run inspection such as channel loads or
+	// probe state. It is not called when the run aborts with an error.
+	Observe func(n *Network)
 }
 
 // BurstConfig parameterizes on/off injection for RunLoadPoint.
@@ -56,8 +70,14 @@ type LoadPointResult struct {
 	// AvgLatency is the mean cycles from source-queue arrival to delivery
 	// over measured packets.
 	AvgLatency float64
+	// P50Latency and P95Latency are the median and 95th-percentile
+	// latencies in cycles.
+	P50Latency int
+	P95Latency int
 	// P99Latency is the 99th-percentile latency in cycles.
 	P99Latency int
+	// MaxLatency is the largest measured packet latency in cycles.
+	MaxLatency int
 	// AvgHops is the mean inter-router hop count of measured packets.
 	AvgHops float64
 	// AcceptedRate is delivered flits per node per cycle over the
@@ -89,6 +109,18 @@ func RunLoadPoint(g *topo.Graph, alg Algorithm, cfg Config, rc RunConfig) (LoadP
 	if err != nil {
 		return LoadPointResult{}, err
 	}
+	if rc.Probes != nil {
+		n.AttachProbes(*rc.Probes)
+	}
+	if rc.Tracer != nil {
+		n.AttachTracer(rc.Tracer)
+	}
+	Live.RunsStarted.Add(1)
+	var lp livePoll
+	defer func() {
+		lp.update(n)
+		Live.RunsFinished.Add(1)
+	}()
 	n.SetPattern(rc.Pattern)
 	measStart := int64(rc.Warmup)
 	measEnd := int64(rc.Warmup + rc.Measure)
@@ -128,19 +160,28 @@ func RunLoadPoint(g *topo.Graph, alg Algorithm, cfg Config, rc RunConfig) (LoadP
 			res.Saturated = true
 			break
 		}
-		if rc.Stop != nil && c&stopPollMask == 0 && rc.Stop() {
-			return LoadPointResult{}, fmt.Errorf("at cycle %d: %w", c, ErrStopped)
+		if c&stopPollMask == 0 {
+			lp.update(n)
+			if rc.Stop != nil && rc.Stop() {
+				return LoadPointResult{}, fmt.Errorf("at cycle %d: %w", c, ErrStopped)
+			}
 		}
 	}
 	created, delivered := n.MeasuredCounts()
 	res.MeasuredCreated = created
 	res.MeasuredDelivered = delivered
 	res.AvgLatency = latHist.Mean()
+	res.P50Latency = latHist.Percentile(0.50)
+	res.P95Latency = latHist.Percentile(0.95)
 	res.P99Latency = latHist.Percentile(0.99)
+	res.MaxLatency = latHist.Max()
 	res.AvgHops = hops.Mean()
 	res.AcceptedRate = float64(deliveredInWindow) * float64(n.PacketSize()) /
 		(float64(n.NumNodes()) * float64(rc.Measure))
 	res.Cycles = n.Cycle()
+	if rc.Observe != nil {
+		rc.Observe(n)
+	}
 	return res, nil
 }
 
@@ -221,6 +262,12 @@ func RunBatchStop(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Patt
 	if err != nil {
 		return BatchResult{}, err
 	}
+	Live.RunsStarted.Add(1)
+	var lp livePoll
+	defer func() {
+		lp.update(n)
+		Live.RunsFinished.Add(1)
+	}()
 	n.SetPattern(pattern)
 	n.SeedBatch(batchSize)
 	total := int64(batchSize) * int64(n.NumNodes())
@@ -234,8 +281,11 @@ func RunBatchStop(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Patt
 			return BatchResult{}, fmt.Errorf("sim: batch of %d did not complete within %d cycles (%s)",
 				batchSize, maxCycles, alg.Name())
 		}
-		if stop != nil && n.Cycle()&stopPollMask == 0 && stop() {
-			return BatchResult{}, fmt.Errorf("at cycle %d: %w", n.Cycle(), ErrStopped)
+		if n.Cycle()&stopPollMask == 0 {
+			lp.update(n)
+			if stop != nil && stop() {
+				return BatchResult{}, fmt.Errorf("at cycle %d: %w", n.Cycle(), ErrStopped)
+			}
 		}
 	}
 	res := BatchResult{

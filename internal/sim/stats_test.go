@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 
 	"flatnet/internal/topo"
@@ -92,6 +93,65 @@ func TestResetChannelStats(t *testing.T) {
 	max, mean, _ := n.LoadImbalance()
 	if max != 0 || mean != 0 {
 		t.Fatal("imbalance should be zero right after reset")
+	}
+}
+
+// TestChannelLoadsWarmupWindow pins the ResetChannelStats contract used
+// for warm-up exclusion: after a reset, Utilization is computed over the
+// post-reset window only, and the split counters reconcile with an
+// unreset control run of the same seed.
+func TestChannelLoadsWarmupWindow(t *testing.T) {
+	f := testFF(t, 4, 2)
+	build := func() *Network {
+		n, err := New(f.Graph(), &minimalAlg{f}, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.SetPattern(traffic.NewUniform(16))
+		return n
+	}
+	drive := func(n *Network, cycles int) {
+		for i := 0; i < cycles; i++ {
+			n.GenerateBernoulli(0.3)
+			n.Step()
+		}
+	}
+
+	const warm, meas = 300, 500
+	n := build()
+	drive(n, warm)
+	pre := n.ChannelLoads()
+	n.ResetChannelStats()
+	drive(n, meas)
+	post := n.ChannelLoads()
+	var postFlits int64
+	for _, c := range post {
+		// The denominator must be the post-reset window, not total cycles.
+		want := float64(c.Flits) / meas
+		if math.Abs(c.Utilization-want) > 1e-12 {
+			t.Fatalf("channel %d.%d utilization %v, want %v (flits/%d)",
+				c.Router, c.Port, c.Utilization, want, meas)
+		}
+		postFlits += c.Flits
+	}
+	if postFlits == 0 {
+		t.Fatal("no traffic in the measurement window")
+	}
+
+	// Control: identical seed and drive, no reset — per-channel totals
+	// must equal pre + post, proving the reset dropped exactly the
+	// warm-up traffic and did not perturb the simulation.
+	ctrl := build()
+	drive(ctrl, warm+meas)
+	all := ctrl.ChannelLoads()
+	if len(all) != len(pre) || len(all) != len(post) {
+		t.Fatalf("channel count mismatch: %d/%d/%d", len(all), len(pre), len(post))
+	}
+	for i, c := range all {
+		if split := pre[i].Flits + post[i].Flits; c.Flits != split {
+			t.Errorf("channel %d.%d: control %d flits, warm %d + meas %d = %d",
+				c.Router, c.Port, c.Flits, pre[i].Flits, post[i].Flits, split)
+		}
 	}
 }
 

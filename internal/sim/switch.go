@@ -3,6 +3,7 @@ package sim
 import (
 	"math/bits"
 
+	"flatnet/internal/telemetry"
 	"flatnet/internal/topo"
 )
 
@@ -41,12 +42,18 @@ func (n *Network) switchAllocate() {
 				}
 				op := &rt.out[q.out.Port]
 				if op.credits != nil && op.credits[q.out.VC] <= 0 {
+					if n.probes != nil {
+						n.probes.CreditStalls++
+					}
 					continue // no downstream space: do not bid
 				}
 				if op.credits == nil && op.nextFree-n.cycle >= int64(n.cfg.BufPerPort) {
 					continue // ejection staging queue full
 				}
 				if !q.headSent && op.owner != nil && op.owner[q.out.VC] != nil {
+					if n.probes != nil {
+						n.probes.VCStalls++
+					}
 					continue // downstream VC still owned by another packet
 				}
 				rt.reqs[q.out.Port] = append(rt.reqs[q.out.Port], n.reqKey(p, v))
@@ -63,7 +70,11 @@ func (n *Network) switchAllocate() {
 			}
 			op := &rt.out[p]
 			if n.cfg.AgeArbiter {
-				n.grantByAge(rt, op, reqs, speedup)
+				granted := n.grantByAge(rt, op, reqs, speedup)
+				if n.probes != nil {
+					n.probes.Grants += int64(granted)
+					n.probes.Conflicts += int64(len(reqs) - granted)
+				}
 				rt.reqs[p] = reqs[:0]
 				continue
 			}
@@ -103,6 +114,10 @@ func (n *Network) switchAllocate() {
 					n.traverse(rt, inport, vc)
 				}
 			}
+			if n.probes != nil {
+				n.probes.Grants += int64(outGrants)
+				n.probes.Conflicts += int64(len(reqs) - outGrants)
+			}
 			rt.reqs[p] = reqs[:0]
 		}
 	}
@@ -111,13 +126,13 @@ func (n *Network) switchAllocate() {
 // grantByAge performs oldest-first switch allocation for one output:
 // repeatedly grant the eligible requester whose head packet has the
 // earliest injection cycle (ties by packet ID), until speedup or credits
-// run out.
-func (n *Network) grantByAge(rt *router, op *outPort, reqs []int32, speedup int) {
+// run out. It returns the number of grants issued.
+func (n *Network) grantByAge(rt *router, op *outPort, reqs []int32, speedup int) int {
 	outGrants := 0
 	granted := make(map[int32]bool, len(reqs))
 	for {
 		if speedup > 0 && outGrants >= speedup {
-			return
+			return outGrants
 		}
 		best := int32(-1)
 		var bestAge int64
@@ -138,7 +153,7 @@ func (n *Network) grantByAge(rt *router, op *outPort, reqs []int32, speedup int)
 				continue
 			}
 			if op.credits == nil && op.nextFree-n.cycle >= int64(n.cfg.BufPerPort) {
-				return
+				return outGrants
 			}
 			if !q.headSent && op.owner != nil && op.owner[q.out.VC] != nil {
 				continue
@@ -150,7 +165,7 @@ func (n *Network) grantByAge(rt *router, op *outPort, reqs []int32, speedup int)
 			}
 		}
 		if best < 0 {
-			return
+			return outGrants
 		}
 		granted[best] = true
 		inport, vc := n.reqUnpack(best)
@@ -185,6 +200,20 @@ func (n *Network) traverse(rt *router, inport, vc int) {
 	op.nextFree = depart + 1
 	op.flitsSent++
 	delay := int(depart-n.cycle) + op.latency
+	if n.tracer != nil {
+		if isHead && op.kind == topo.Network {
+			n.tracer.Record(telemetry.FlitEvent{
+				Cycle: n.cycle, Kind: telemetry.EvVCAlloc, Packet: f.pkt.ID,
+				Src: int(f.pkt.Src), Dst: int(f.pkt.Dst),
+				Router: int(rt.id), Port: dec.Port, VC: dec.VC, Tail: f.tail,
+			})
+		}
+		n.tracer.Record(telemetry.FlitEvent{
+			Cycle: n.cycle, Kind: telemetry.EvXbar, Packet: f.pkt.ID,
+			Src: int(f.pkt.Src), Dst: int(f.pkt.Dst),
+			Router: int(rt.id), Port: dec.Port, VC: dec.VC, Tail: f.tail,
+		})
+	}
 	switch op.kind {
 	case topo.Network:
 		op.credits[dec.VC]--
@@ -203,6 +232,6 @@ func (n *Network) traverse(rt *router, inport, vc int) {
 		n.schedule(delay+n.cfg.RouterDelay, event{kind: evFlit, tail: f.tail, router: int32(op.peer), port: int32(op.peerPort), vc: int32(dec.VC), pkt: f.pkt})
 	case topo.Terminal:
 		op.pending[dec.VC]--
-		n.schedule(delay, event{kind: evDeliver, tail: f.tail, pkt: f.pkt})
+		n.schedule(delay, event{kind: evDeliver, tail: f.tail, router: int32(rt.id), port: int32(dec.Port), pkt: f.pkt})
 	}
 }

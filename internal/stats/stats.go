@@ -116,6 +116,7 @@ type Histogram struct {
 	overflow int64   // samples >= len(bins)
 	n        int64
 	total    int64 // sum of all sample values, including overflowed ones
+	max      int   // largest sample seen, exact even for overflowed samples
 }
 
 // NewHistogram returns a histogram covering [0, maxValue]; larger samples
@@ -138,9 +139,16 @@ func (h *Histogram) Add(v int) {
 	} else {
 		h.overflow++
 	}
+	if v > h.max {
+		h.max = v
+	}
 	h.n++
 	h.total += int64(v)
 }
+
+// Max returns the largest sample recorded, exact even for samples beyond
+// the histogram range, or 0 for an empty histogram.
+func (h *Histogram) Max() int { return h.max }
 
 // Count returns the number of samples recorded.
 func (h *Histogram) Count() int64 { return h.n }
@@ -187,7 +195,7 @@ func (h *Histogram) Reset() {
 	for i := range h.bins {
 		h.bins[i] = 0
 	}
-	h.overflow, h.n, h.total = 0, 0, 0
+	h.overflow, h.n, h.total, h.max = 0, 0, 0, 0
 }
 
 // RateMeter measures an event rate over a window of cycles, e.g. accepted

@@ -31,6 +31,7 @@ type Engine struct {
 
 	mu    sync.Mutex
 	stats Stats
+	live  liveCounters
 }
 
 // WorkerStats is one worker's lifetime accounting.
@@ -86,7 +87,8 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 	jobs = append([]Job(nil), jobs...) // normalized locally; callers keep their spec
 	results := make([]Result, len(jobs))
 	hashes := make([]string, len(jobs))
-	prog := newProgress(e.Progress, len(jobs), nw)
+	e.live.submitted.Add(int64(len(jobs)))
+	prog := newProgress(e.Progress, e, len(jobs), nw)
 
 	// Settle cache hits up front and coalesce duplicate hashes so each
 	// distinct simulation runs exactly once.
@@ -102,7 +104,9 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 			if r, ok := e.Cache.Get(hashes[i]); ok {
 				results[i] = r
 				nhits++
-				prog.step(progCached)
+				e.live.cacheHits.Add(1)
+				e.live.done.Add(1)
+				prog.step()
 				if onDone != nil {
 					onDone(i, r)
 				}
@@ -152,7 +156,9 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 					countMu.Lock()
 					nskip++
 					countMu.Unlock()
-					prog.step(progSkipped)
+					e.live.skipped.Add(1)
+					e.live.done.Add(1)
+					prog.step()
 					if onDone != nil {
 						onDone(i, results[i])
 					}
@@ -160,8 +166,11 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 				}
 				start := time.Now()
 				stop := e.stopFunc(ctx, start)
+				e.live.inFlight.Add(1)
 				r, err := jobs[i].Run(stop)
 				elapsed := time.Since(start)
+				e.live.inFlight.Add(-1)
+				e.live.busyNanos.Add(int64(elapsed))
 				wstats[w].Jobs++
 				wstats[w].Busy += elapsed
 				if err != nil {
@@ -175,7 +184,9 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 					jobErrs = append(jobErrs, err)
 					nfail++
 					countMu.Unlock()
-					prog.step(progFailed)
+					e.live.failed.Add(1)
+					e.live.done.Add(1)
+					prog.step()
 					continue
 				}
 				r.ElapsedSeconds = elapsed.Seconds()
@@ -190,7 +201,9 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 						countMu.Unlock()
 					}
 				}
-				prog.step(progSimulated)
+				e.live.simulated.Add(1)
+				e.live.done.Add(1)
+				prog.step()
 				if onDone != nil {
 					onDone(i, r)
 				}
@@ -208,6 +221,8 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 					break
 				}
 			}
+			e.live.deduped.Add(1)
+			e.live.done.Add(1)
 			if onDone != nil {
 				onDone(i, results[i])
 			}
@@ -229,7 +244,7 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 		e.stats.Workers[w].Busy += wstats[w].Busy
 	}
 	e.mu.Unlock()
-	prog.finish(wstats, nsim, nhits, nskip, nfail)
+	prog.finish(wstats)
 
 	if err := ctx.Err(); err != nil {
 		return results, err

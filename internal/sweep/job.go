@@ -135,8 +135,10 @@ func (j Job) Normalize() Job {
 }
 
 // hashVersion is bumped whenever the canonical encoding or the meaning
-// of any Job field changes, invalidating every cached result.
-const hashVersion = "sweep/v1"
+// of any Job field changes, invalidating every cached result. v2: load
+// results gained latency percentile fields (p50/p95/max), so v1-cached
+// entries would replay with those fields zeroed.
+const hashVersion = "sweep/v2"
 
 // canonical renders the normalized job as a fixed-order field string.
 // Every field participates, so changing any field — including seed and

@@ -7,82 +7,111 @@ import (
 	"time"
 )
 
-// progress event kinds, reported by the engine as each job settles.
-const (
-	progSimulated = iota
-	progCached
-	progSkipped
-	progFailed
-)
-
 // progress renders live "done/total + ETA" lines and the final
 // per-worker throughput report. A nil writer disables all output. Lines
 // are throttled so a fast sweep does not flood stderr.
+//
+// All tallies come from the engine's live telemetry counters rather than
+// a private ledger: a Vars baseline is captured at batch start and the
+// lines report the delta, so what the progress stream shows is exactly
+// what a -listen metrics endpoint shows.
 type progress struct {
 	w       io.Writer
+	eng     *Engine
 	total   int
 	workers int
 	start   time.Time
+	base    Vars
 
 	mu   sync.Mutex
-	done int
-	sim  int
-	hit  int
-	skip int
-	fail int
 	last time.Time
 }
 
 // progressInterval is the minimum spacing between live progress lines.
 const progressInterval = 500 * time.Millisecond
 
-func newProgress(w io.Writer, total, workers int) *progress {
-	return &progress{w: w, total: total, workers: workers, start: time.Now()}
+func newProgress(w io.Writer, e *Engine, total, workers int) *progress {
+	p := &progress{w: w, eng: e, total: total, workers: workers, start: time.Now()}
+	if w != nil {
+		p.base = e.Vars()
+	}
+	return p
 }
 
-func (p *progress) step(kind int) {
+// delta returns this batch's contribution to the engine's lifetime
+// counters (the engine may be reused across Run calls).
+func (p *progress) delta() Vars {
+	v := p.eng.Vars()
+	v.JobsSubmitted -= p.base.JobsSubmitted
+	v.JobsDone -= p.base.JobsDone
+	v.Simulated -= p.base.Simulated
+	v.CacheHits -= p.base.CacheHits
+	v.Deduped -= p.base.Deduped
+	v.Skipped -= p.base.Skipped
+	v.Failed -= p.base.Failed
+	v.BusySeconds -= p.base.BusySeconds
+	return v
+}
+
+// step emits a throttled progress line; the engine calls it after each
+// job settles (and after updating its live counters).
+func (p *progress) step() {
 	if p.w == nil {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.done++
-	switch kind {
-	case progSimulated:
-		p.sim++
-	case progCached:
-		p.hit++
-	case progSkipped:
-		p.skip++
-	case progFailed:
-		p.fail++
-	}
 	now := time.Now()
-	if now.Sub(p.last) < progressInterval && p.done != p.total {
+	d := p.delta()
+	done := int(d.JobsDone)
+	if now.Sub(p.last) < progressInterval && done != p.total {
 		return
 	}
 	p.last = now
 	elapsed := now.Sub(p.start)
 	eta := "?"
-	if p.done > 0 && p.done < p.total {
-		remain := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+	if done > 0 && done < p.total {
+		remain := time.Duration(float64(elapsed) / float64(done) * float64(p.total-done))
 		eta = remain.Round(100 * time.Millisecond).String()
 	}
-	fmt.Fprintf(p.w, "sweep: %d/%d jobs (%d simulated, %d cached, %d skipped, %d failed) elapsed %s eta %s\n",
-		p.done, p.total, p.sim, p.hit, p.skip, p.fail,
+	fmt.Fprintf(p.w, "sweep: %d/%d jobs (%d simulated, %d cached, %d skipped, %d failed, %d in flight) util %.0f%% hit %.0f%% elapsed %s eta %s\n",
+		done, p.total, d.Simulated, d.CacheHits, d.Skipped, d.Failed, d.JobsInFlight,
+		100*utilization(d, elapsed, p.workers), 100*hitRate(d),
 		elapsed.Round(100*time.Millisecond), eta)
+}
+
+// utilization is busy time over available worker time for this batch.
+func utilization(d Vars, elapsed time.Duration, workers int) float64 {
+	if workers <= 0 || elapsed <= 0 {
+		return 0
+	}
+	u := d.BusySeconds / (elapsed.Seconds() * float64(workers))
+	if u > 1 {
+		u = 1 // settle-time skew can push the ratio just past 1
+	}
+	return u
+}
+
+// hitRate is this batch's cache-hit fraction of settled jobs.
+func hitRate(d Vars) float64 {
+	if d.JobsDone == 0 {
+		return 0
+	}
+	return float64(d.CacheHits) / float64(d.JobsDone)
 }
 
 // finish prints the batch summary and per-worker throughput. Workers
 // that never ran a job are reported too — seeing "worker 1: 0 jobs" is
 // the honest answer on a saturated pool, not a formatting bug.
-func (p *progress) finish(wstats []WorkerStats, sim, hit, skip, fail int) {
+func (p *progress) finish(wstats []WorkerStats) {
 	if p.w == nil {
 		return
 	}
 	elapsed := time.Since(p.start)
-	fmt.Fprintf(p.w, "sweep: done: %d jobs in %s — %d simulated, %d cache hits, %d skipped, %d failed\n",
-		p.total, elapsed.Round(time.Millisecond), sim, hit, skip, fail)
+	d := p.delta()
+	fmt.Fprintf(p.w, "sweep: done: %d jobs in %s — %d simulated, %d cache hits (%.0f%%), %d deduped, %d skipped, %d failed, pool util %.0f%%\n",
+		p.total, elapsed.Round(time.Millisecond), d.Simulated, d.CacheHits, 100*hitRate(d),
+		d.Deduped, d.Skipped, d.Failed, 100*utilization(d, elapsed, p.workers))
 	for w, s := range wstats {
 		rate := 0.0
 		if s.Busy > 0 {

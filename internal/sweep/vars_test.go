@@ -1,0 +1,95 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flatnet/internal/telemetry"
+)
+
+// TestVarsAccounting pins the settle-path identity: every job that
+// settles does so through exactly one of simulated / cache hit / dedup /
+// skip / fail, so the live counters always reconcile.
+func TestVarsAccounting(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(filepath.Join(dir, "cache.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	eng := &Engine{Workers: 4, Cache: cache}
+
+	jobs := []Job{
+		tinyJob("MIN AD", 0.2),
+		tinyJob("MIN AD", 0.2), // duplicate: coalesced within the run
+		tinyJob("CLOS AD", 0.5),
+		{Net: "bogus"}, // fails
+	}
+	if _, err := eng.Run(context.Background(), jobs); err == nil {
+		t.Fatal("bogus job did not fail")
+	}
+	v := eng.Vars()
+	if v.JobsSubmitted != 4 {
+		t.Errorf("JobsSubmitted = %d, want 4", v.JobsSubmitted)
+	}
+	if v.JobsDone != 4 {
+		t.Errorf("JobsDone = %d, want 4", v.JobsDone)
+	}
+	if v.JobsInFlight != 0 {
+		t.Errorf("JobsInFlight = %d after Run returned", v.JobsInFlight)
+	}
+	if sum := v.Simulated + v.CacheHits + v.Deduped + v.Skipped + v.Failed; sum != v.JobsDone {
+		t.Errorf("settle identity broken: %d+%d+%d+%d+%d != %d",
+			v.Simulated, v.CacheHits, v.Deduped, v.Skipped, v.Failed, v.JobsDone)
+	}
+	if v.Simulated != 2 || v.Deduped != 1 || v.Failed != 1 {
+		t.Errorf("first run: simulated %d deduped %d failed %d, want 2/1/1",
+			v.Simulated, v.Deduped, v.Failed)
+	}
+	if v.BusySeconds <= 0 {
+		t.Error("no busy time accumulated")
+	}
+
+	// Re-running the two good jobs hits the cache; the hit rate becomes
+	// visible through Vars.
+	if _, err := eng.Run(context.Background(), jobs[:3]); err != nil {
+		t.Fatal(err)
+	}
+	v = eng.Vars()
+	if v.CacheHits != 3 { // both distinct jobs + the former duplicate
+		t.Errorf("CacheHits = %d, want 3", v.CacheHits)
+	}
+	if v.CacheHitRate <= 0 {
+		t.Error("CacheHitRate not computed")
+	}
+	if sum := v.Simulated + v.CacheHits + v.Deduped + v.Skipped + v.Failed; sum != v.JobsDone {
+		t.Errorf("settle identity broken after second run: sum %d != done %d", sum, v.JobsDone)
+	}
+}
+
+// TestPublishVars checks the engine's gauge serves through a registry
+// snapshot the way a -listen endpoint would render it.
+func TestPublishVars(t *testing.T) {
+	eng := &Engine{Workers: 2}
+	if _, err := eng.Run(context.Background(), []Job{tinyJob("MIN AD", 0.3)}); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	eng.PublishVars(reg)
+	out := reg.String()
+	if !strings.Contains(out, `"sweep_engine"`) {
+		t.Fatalf("registry JSON missing sweep_engine: %s", out)
+	}
+	var decoded struct {
+		SweepEngine Vars `json:"sweep_engine"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("registry JSON does not decode: %v", err)
+	}
+	if decoded.SweepEngine.Simulated != 1 || decoded.SweepEngine.Workers != 2 {
+		t.Errorf("gauge snapshot = %+v", decoded.SweepEngine)
+	}
+}

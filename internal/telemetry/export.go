@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// wireEvent is the serialized form of a FlitEvent, shared by the JSONL
+// exporter and the Chrome-trace args payload so both round-trip every
+// field.
+type wireEvent struct {
+	Cycle  int64  `json:"cycle"`
+	Kind   string `json:"kind"`
+	Packet int64  `json:"packet"`
+	Src    int    `json:"src"`
+	Dst    int    `json:"dst"`
+	Router int    `json:"router"`
+	Port   int    `json:"port"`
+	VC     int    `json:"vc"`
+	Tail   bool   `json:"tail,omitempty"`
+}
+
+func toWire(ev FlitEvent) wireEvent {
+	return wireEvent{
+		Cycle: ev.Cycle, Kind: ev.Kind.String(), Packet: ev.Packet,
+		Src: ev.Src, Dst: ev.Dst, Router: ev.Router, Port: ev.Port,
+		VC: ev.VC, Tail: ev.Tail,
+	}
+}
+
+func fromWire(w wireEvent) (FlitEvent, error) {
+	k, err := ParseEventKind(w.Kind)
+	if err != nil {
+		return FlitEvent{}, err
+	}
+	return FlitEvent{
+		Cycle: w.Cycle, Kind: k, Packet: w.Packet,
+		Src: w.Src, Dst: w.Dst, Router: w.Router, Port: w.Port,
+		VC: w.VC, Tail: w.Tail,
+	}, nil
+}
+
+// WriteJSONL writes one JSON object per event, newline-delimited — the
+// format for offline analysis with line-oriented tools.
+func WriteJSONL(w io.Writer, events []FlitEvent) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(toWire(ev)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL inverts WriteJSONL.
+func ReadJSONL(r io.Reader) ([]FlitEvent, error) {
+	var out []FlitEvent
+	dec := json.NewDecoder(r)
+	for {
+		var w wireEvent
+		if err := dec.Decode(&w); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: jsonl event %d: %w", len(out), err)
+		}
+		ev, err := fromWire(w)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: jsonl event %d: %w", len(out), err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// Chrome trace-event format (the chrome://tracing / Perfetto JSON
+// schema): an object with a traceEvents array. Each flit event becomes a
+// complete ("X") slice one cycle long, with the packet as the process
+// row (pid) and the router as the thread row (tid), so opening the file
+// in a trace viewer shows each packet's journey as a swimlane of
+// pipeline stages per router. A metadata ("M") event names each packet
+// row. The full FlitEvent rides in args, making the export lossless.
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat,omitempty"`
+	Ph   string     `json:"ph"`
+	TS   int64      `json:"ts"`
+	Dur  int64      `json:"dur,omitempty"`
+	PID  int64      `json:"pid"`
+	TID  int64      `json:"tid"`
+	Args *wireEvent `json:"args,omitempty"`
+}
+
+type chromeMetaArgs struct {
+	Name string `json:"name"`
+}
+
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int64          `json:"pid"`
+	Args chromeMetaArgs `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteChromeTrace writes the events as Chrome trace-event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. Cycles map
+// to microseconds (1 cycle = 1 us) since the format counts wall time.
+func WriteChromeTrace(w io.Writer, events []FlitEvent) error {
+	var raw []json.RawMessage
+	seen := make(map[int64]bool)
+	for _, ev := range events {
+		if !seen[ev.Packet] {
+			seen[ev.Packet] = true
+			m := chromeMeta{
+				Name: "process_name", Ph: "M", PID: ev.Packet,
+				Args: chromeMetaArgs{Name: fmt.Sprintf("packet %d (%d->%d)", ev.Packet, ev.Src, ev.Dst)},
+			}
+			b, err := json.Marshal(m)
+			if err != nil {
+				return err
+			}
+			raw = append(raw, b)
+		}
+		we := toWire(ev)
+		ce := chromeEvent{
+			Name: ev.Kind.String(), Cat: "flit", Ph: "X",
+			TS: ev.Cycle, Dur: 1,
+			PID: ev.Packet, TID: int64(ev.Router),
+			Args: &we,
+		}
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		raw = append(raw, b)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: raw, DisplayTimeUnit: "ms"})
+}
+
+// ReadChromeTrace inverts WriteChromeTrace: it reconstructs the flit
+// events from the args payloads, skipping metadata events, so a trace
+// round-trips losslessly through the Chrome format.
+func ReadChromeTrace(r io.Reader) ([]FlitEvent, error) {
+	var f chromeFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	var out []FlitEvent
+	for i, msg := range f.TraceEvents {
+		var ce chromeEvent
+		if err := json.Unmarshal(msg, &ce); err != nil {
+			return nil, fmt.Errorf("telemetry: chrome trace event %d: %w", i, err)
+		}
+		if ce.Ph != "X" || ce.Args == nil {
+			continue // metadata or foreign event
+		}
+		ev, err := fromWire(*ce.Args)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: chrome trace event %d: %w", i, err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

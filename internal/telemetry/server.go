@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux returns an http.ServeMux serving the standard debug surface:
+// /debug/vars (expvar, including every published Registry) and
+// /debug/pprof (CPU/heap/goroutine profiles). Routes are registered on a
+// fresh mux rather than http.DefaultServeMux so importing this package
+// never mutates global HTTP state.
+func NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live metrics endpoint: an HTTP listener serving NewMux in
+// a background goroutine for the lifetime of a run.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve listens on addr (e.g. "localhost:6060", or ":0" for an
+// OS-assigned port) and serves the debug surface until Close. It
+// returns once the listener is bound, so Addr is immediately valid.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           NewMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // always returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address, e.g. "127.0.0.1:6060".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
