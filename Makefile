@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck test race check bench figs quickfigs fuzz clean
+.PHONY: all build vet fmtcheck test race check checksweep bench figs quickfigs fuzz clean
 
 # Tier-1 flow: build, static checks, tests, then the race detector over
 # the whole module — the sweep engine's worker pool must stay race-clean.
@@ -25,7 +25,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet fmtcheck test race
+# checksweep drives a short sanitized grid end to end: all five
+# flattened-butterfly algorithms on benign and adversarial traffic with
+# the runtime invariant checker attached to every job.
+checksweep:
+	$(GO) run ./cmd/sweep -check -k 4 -n 2 -loads 0.2,0.6 \
+		-warmup 200 -measure 200 -sat=false >/dev/null
+
+check: build vet fmtcheck test race checksweep
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -41,6 +48,7 @@ quickfigs:
 
 fuzz:
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s ./internal/sim/
+	$(GO) test -fuzz=FuzzInvariants -fuzztime=30s ./internal/sim/
 
 clean:
 	$(GO) clean ./...

@@ -349,6 +349,53 @@ func BenchmarkTelemetryProbes(b *testing.B) {
 	b.ReportMetric(float64(p.Samples), "probe_samples")
 }
 
+// BenchmarkChecksOff is the invariant sanitizer's zero-overhead-when-off
+// guard: the exact BenchmarkSimulatorCycles workload with no sanitizer
+// attached, exercising every check nil-test in the flit pipeline.
+// Compare against BenchmarkSimulatorCycles; the two must stay within
+// noise (~2%) of each other.
+func BenchmarkChecksOff(b *testing.B) {
+	ff, err := flatnet.NewFlatFly(32, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := flatnet.NewNetwork(ff.Graph(), flatnet.NewClosAD(ff), flatnet.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.SetPattern(flatnet.NewUniform(ff.NumNodes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.GenerateBernoulli(0.5)
+		n.Step()
+	}
+	b.ReportMetric(float64(ff.NumNodes), "nodes")
+}
+
+// BenchmarkChecksOn measures the same workload with the sanitizer
+// attached — the price of a fully audited run.
+func BenchmarkChecksOn(b *testing.B) {
+	ff, err := flatnet.NewFlatFly(32, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := flatnet.NewNetwork(ff.Graph(), flatnet.NewClosAD(ff), flatnet.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.SetPattern(flatnet.NewUniform(ff.NumNodes))
+	s := flatnet.AttachChecker(n, flatnet.CheckConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.GenerateBernoulli(0.5)
+		n.Step()
+	}
+	b.StopTimer()
+	if len(s.Violations()) != 0 {
+		b.Fatalf("sanitizer tripped during benchmark: %v", s.Err())
+	}
+}
+
 // --- Ablation benchmarks: the design choices DESIGN.md calls out. ---
 
 // BenchmarkAblation_GreedyVsSequential quantifies the sequential

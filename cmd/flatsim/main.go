@@ -47,6 +47,7 @@ func main() {
 	flag.StringVar(&o.listen, "listen", "", "serve live metrics (/debug/vars, /debug/pprof) on this address during the run")
 	flag.StringVar(&o.flitTrace, "flittrace", "", "write a flit event trace of an open-loop run to this file (.jsonl for JSON lines, anything else for Chrome trace JSON)")
 	flag.IntVar(&o.traceCap, "tracecap", 1<<16, "flit tracer ring capacity in events (oldest evicted when full)")
+	flag.BoolVar(&o.check, "check", false, "run under the runtime invariant sanitizer (open-loop -load/-sweep/-batch runs)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -76,6 +77,7 @@ type runOpts struct {
 	listen    string
 	flitTrace string
 	traceCap  int
+	check     bool
 }
 
 // telemetryReg is process-global: the expvar namespace is write-once,
@@ -166,6 +168,10 @@ func run(o runOpts) error {
 
 	cfg := flatnet.Config{Seed: o.seed, BufPerPort: o.buf}
 
+	if o.check && (o.trace != "" || o.window > 0) {
+		return fmt.Errorf("-check applies to open-loop runs (-load, -sweep, -batch)")
+	}
+
 	if o.trace != "" {
 		return runTrace(g, alg, cfg, o.trace)
 	}
@@ -183,9 +189,19 @@ func run(o runOpts) error {
 	}
 
 	if o.batch > 0 {
-		res, err := flatnet.RunBatch(g, alg, cfg, p, o.batch, 0)
+		var san *flatnet.Sanitizer
+		var attach func(*flatnet.Network)
+		if o.check {
+			attach = func(n *flatnet.Network) { san = flatnet.AttachChecker(n, flatnet.CheckConfig{}) }
+		}
+		res, err := sim.RunBatchInstrumented(g, alg, cfg, p, o.batch, 0, nil, attach)
 		if err != nil {
 			return err
+		}
+		if san != nil {
+			if err := san.Finalize(); err != nil {
+				return err
+			}
 		}
 		fmt.Printf("batch %d per node: completed in %d cycles (normalized latency %.2f)\n",
 			res.BatchSize, res.CompletionCycles, res.NormalizedLatency)
@@ -198,8 +214,15 @@ func run(o runOpts) error {
 
 	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
 	rc := flatnet.RunConfig{Pattern: p, Warmup: o.warmup, Measure: o.measure}
+	checked := func() error { return nil }
+	if o.check {
+		checked = flatnet.ArmCheck(&rc, flatnet.CheckConfig{})
+	}
 	results, err := flatnet.LoadSweep(g, alg, cfg, rc, loads)
 	if err != nil {
+		return err
+	}
+	if err := checked(); err != nil {
 		return err
 	}
 	fmt.Printf("%-6s  %-12s  %-6s  %-6s  %-6s  %-6s  %-10s  %s\n",
@@ -235,8 +258,15 @@ func runPoint(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, p fla
 		probes = n.Probes()
 		top = probes.TopChannels(5)
 	}
+	checked := func() error { return nil }
+	if o.check {
+		checked = flatnet.ArmCheck(&rc, flatnet.CheckConfig{})
+	}
 	r, err := flatnet.RunLoadPoint(g, alg, cfg, rc)
 	if err != nil {
+		return err
+	}
+	if err := checked(); err != nil {
 		return err
 	}
 	status := ""

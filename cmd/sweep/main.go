@@ -51,6 +51,7 @@ type cliConfig struct {
 	cachePath  string
 	jobTimeout time.Duration
 	listen     string
+	check      bool
 }
 
 func main() {
@@ -74,6 +75,7 @@ func main() {
 	flag.StringVar(&cfg.cachePath, "cache", "", "JSON-lines result cache file ('' disables caching)")
 	flag.DurationVar(&cfg.jobTimeout, "timeout", 0, "per-job wall-clock budget (0 = none)")
 	flag.StringVar(&cfg.listen, "listen", "", "serve live metrics (/debug/vars, /debug/pprof) on this address during the run")
+	flag.BoolVar(&cfg.check, "check", false, "run every job under the runtime invariant sanitizer (violations fail the job; cache hits are served unchecked)")
 	flag.Parse()
 
 	cfg.algs = splitList(*algs)
@@ -110,7 +112,7 @@ func run(ctx context.Context, cfg cliConfig, out, progress io.Writer) error {
 	if len(cfg.algs) == 0 || len(cfg.patterns) == 0 || len(cfg.loads) == 0 {
 		return fmt.Errorf("grid is empty: need at least one algorithm, pattern and load")
 	}
-	eng := &sweep.Engine{Workers: cfg.workers, Progress: progress, JobTimeout: cfg.jobTimeout}
+	eng := &sweep.Engine{Workers: cfg.workers, Progress: progress, JobTimeout: cfg.jobTimeout, Check: cfg.check}
 	if cfg.cachePath != "" {
 		cache, err := sweep.OpenCache(cfg.cachePath)
 		if err != nil {

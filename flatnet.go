@@ -32,6 +32,7 @@ package flatnet
 
 import (
 	"flatnet/internal/analysis"
+	"flatnet/internal/check"
 	"flatnet/internal/core"
 	"flatnet/internal/cost"
 	"flatnet/internal/layout"
@@ -210,6 +211,31 @@ var (
 	NewTelemetryRegistry = telemetry.NewRegistry
 	// ServeTelemetry starts a live metrics endpoint on an address.
 	ServeTelemetry = telemetry.Serve
+)
+
+// Runtime invariant sanitizer (internal/check): asserts flit
+// conservation, credit round trips, virtual-channel ownership, packet
+// wholeness and forward progress on every simulated cycle, without
+// perturbing results. Like probes and the tracer it is
+// zero-overhead-when-off.
+type (
+	// CheckConfig parameterizes the sanitizer (stride, watchdog window,
+	// in-order checking, violation cap).
+	CheckConfig = check.Config
+	// CheckViolation is one recorded invariant violation with cycle and
+	// channel context.
+	CheckViolation = check.Violation
+	// Sanitizer is an attached runtime checker.
+	Sanitizer = check.Sanitizer
+)
+
+var (
+	// AttachChecker installs a sanitizer on a network; call Finalize at
+	// end of run for the quiescence audit.
+	AttachChecker = check.Attach
+	// ArmCheck hooks a sanitizer into a RunConfig (one per network the
+	// run builds); the returned func reports any violations.
+	ArmCheck = check.Arm
 )
 
 // Traffic patterns.

@@ -1,0 +1,144 @@
+// Golden-run corpus: a fixed set of small sanitized simulations whose
+// complete results are pinned in testdata/golden/*.json. Any change to
+// simulator timing, routing decisions, RNG streams or the sweep job hash
+// shows up as a corpus diff — intentional changes regenerate the corpus
+// with `go test ./internal/check -run Golden -update`.
+package check_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flatnet/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden-run corpus from current simulator output")
+
+// goldenJobs is the corpus: one job per topology family plus multi-flit,
+// adversarial-traffic and batch-mode coverage. Keep jobs small — the
+// whole corpus must simulate in well under a second.
+var goldenJobs = []sweep.Job{
+	{Net: "flatfly", K: 4, N: 2, Alg: "UGAL-S", Pattern: "UR",
+		Mode: sweep.ModeLoad, Load: 0.4, Warmup: 200, Measure: 300, Seed: 7},
+	{Net: "flatfly", K: 4, N: 2, Alg: "CLOS AD", Pattern: "WC",
+		Mode: sweep.ModeLoad, Load: 0.3, Warmup: 200, Measure: 300, Seed: 7},
+	{Net: "flatfly", K: 4, N: 2, Alg: "MIN AD", Pattern: "UR", PacketSize: 4,
+		Mode: sweep.ModeLoad, Load: 0.3, Warmup: 200, Measure: 300, Seed: 7},
+	{Net: "butterfly", K: 4, N: 2, Alg: "destination", Pattern: "UR",
+		Mode: sweep.ModeLoad, Load: 0.3, Warmup: 200, Measure: 300, Seed: 7},
+	{Net: "foldedclos", K: 4, Uplinks: 2, Leaves: 4, Middles: 1,
+		Alg: "adaptive sequential", Pattern: "UR",
+		Mode: sweep.ModeLoad, Load: 0.3, Warmup: 200, Measure: 300, Seed: 7},
+	{Net: "hypercube", N: 4, Alg: "e-cube", Pattern: "UR",
+		Mode: sweep.ModeLoad, Load: 0.3, Warmup: 200, Measure: 300, Seed: 7},
+	{Net: "flatfly", K: 4, N: 2, Alg: "VAL", Pattern: "UR",
+		Mode: sweep.ModeBatch, BatchSize: 8, Seed: 7},
+}
+
+// goldenName derives the corpus file name from the job's identity.
+func goldenName(j sweep.Job) string {
+	j = j.Normalize()
+	return fmt.Sprintf("%s_%s.json", j.Net, j.Hash()[:12])
+}
+
+// floatEq compares two JSON numbers with a 1e-9 relative epsilon:
+// simulation results are deterministic, but the corpus should not pin
+// the last bits of float formatting.
+func floatEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// jsonEq recursively compares decoded JSON values, applying floatEq to
+// numbers; path labels the first difference for the failure message.
+func jsonEq(path string, a, b any) (string, bool) {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok || len(av) != len(bv) {
+			return path, false
+		}
+		for k := range av {
+			if diff, ok := jsonEq(path+"."+k, av[k], bv[k]); !ok {
+				return diff, false
+			}
+		}
+		return "", true
+	case []any:
+		bv, ok := b.([]any)
+		if !ok || len(av) != len(bv) {
+			return path, false
+		}
+		for i := range av {
+			if diff, ok := jsonEq(fmt.Sprintf("%s[%d]", path, i), av[i], bv[i]); !ok {
+				return diff, false
+			}
+		}
+		return "", true
+	case float64:
+		bv, ok := b.(float64)
+		if !ok || !floatEq(av, bv) {
+			return path, false
+		}
+		return "", true
+	default:
+		if a != b {
+			return path, false
+		}
+		return "", true
+	}
+}
+
+// TestGoldenCorpus runs every corpus job under the sanitizer and holds
+// the full result — job normalization, content hash, latency histogram
+// percentiles, throughput, cycle counts — to the pinned files.
+func TestGoldenCorpus(t *testing.T) {
+	for _, job := range goldenJobs {
+		name := goldenName(job)
+		t.Run(name, func(t *testing.T) {
+			res, err := job.RunChecked(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.ElapsedSeconds = 0 // wall-clock is not part of the contract
+			got, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			var gv, wv any
+			if err := json.Unmarshal(got, &gv); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(want, &wv); err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			if diff, ok := jsonEq("result", wv, gv); !ok {
+				t.Errorf("golden drift at %s\ngot:  %s\nwant: %s\n(intentional? regenerate with -update)",
+					diff, got, want)
+			}
+		})
+	}
+}

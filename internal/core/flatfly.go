@@ -231,6 +231,16 @@ func (f *FlatFly) DiffDims(a, b topo.RouterID) []int {
 	return dims
 }
 
+// AvgUniformMinHops returns the expected minimal inter-router hop count
+// under uniform traffic with self-traffic included: each of the n'
+// dimensions differs with probability (k-1)/k, and every router hosts the
+// same number of terminals, so uniform traffic over nodes is uniform over
+// router pairs. Internal/check's conformance suite holds minimally-routed
+// zero-load latency to this figure.
+func (f *FlatFly) AvgUniformMinHops() float64 {
+	return float64(f.Dims) * float64(f.K-1) / float64(f.K)
+}
+
 // MinimalRouteCount returns the number of distinct minimal routes between
 // two routers: i! where i is the number of differing digits (§2.2).
 func (f *FlatFly) MinimalRouteCount(a, b topo.RouterID) int {

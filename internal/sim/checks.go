@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+
+	"flatnet/internal/topo"
+)
+
+// CheckHooks is the sanitizer attachment surface of the simulation
+// pipeline: one callback per conservation-relevant pipeline event. It
+// exists so a checker (internal/check) can observe every flit, credit
+// and virtual-channel transition without the simulator importing it.
+//
+// The hooks follow the same zero-overhead-when-off contract as probes
+// and the tracer: a network without hooks attached pays one nil check
+// per pipeline site (guarded by BenchmarkChecksOff). AttachChecks fills
+// nil callbacks with no-ops, so an attached hook set may implement any
+// subset.
+type CheckHooks struct {
+	// Inject fires when a flit enters its source router's terminal input
+	// buffer. r/port identify the injection buffer.
+	Inject func(p *Packet, r topo.RouterID, port int, tail bool)
+	// Route fires when a packet at the head of an input VC receives a
+	// routing decision (port, vc) at router r.
+	Route func(p *Packet, r topo.RouterID, port, vc int)
+	// CreditConsume fires when a switch grant spends a credit of output
+	// (r, port, vc); after is the post-decrement credit count.
+	CreditConsume func(r topo.RouterID, port, vc, after int)
+	// CreditReturn fires when a credit arrives back at output
+	// (r, port, vc); after is the post-increment credit count.
+	CreditReturn func(r topo.RouterID, port, vc, after int)
+	// VCAcquire fires when a head flit is granted onto downstream VC
+	// (r, port, vc). prev is the simulator's notion of the VC's owner at
+	// that moment — nil unless the allocator double-granted.
+	VCAcquire func(p *Packet, prev *Packet, r topo.RouterID, port, vc int)
+	// VCRelease fires when a tail flit leaves downstream VC (r, port, vc).
+	VCRelease func(p *Packet, r topo.RouterID, port, vc int)
+	// Eject fires for every flit leaving an ejection channel, before the
+	// packet is recycled. r/port identify the ejection channel.
+	Eject func(p *Packet, r topo.RouterID, port int, tail bool)
+	// EndCycle fires at the end of every Step, after switch allocation.
+	EndCycle func()
+}
+
+// AttachChecks installs a sanitizer hook set into the pipeline; nil
+// callbacks are replaced with no-ops. Passing nil detaches.
+func (n *Network) AttachChecks(h *CheckHooks) {
+	if h == nil {
+		n.checks = nil
+		return
+	}
+	if h.Inject == nil {
+		h.Inject = func(*Packet, topo.RouterID, int, bool) {}
+	}
+	if h.Route == nil {
+		h.Route = func(*Packet, topo.RouterID, int, int) {}
+	}
+	if h.CreditConsume == nil {
+		h.CreditConsume = func(topo.RouterID, int, int, int) {}
+	}
+	if h.CreditReturn == nil {
+		h.CreditReturn = func(topo.RouterID, int, int, int) {}
+	}
+	if h.VCAcquire == nil {
+		h.VCAcquire = func(*Packet, *Packet, topo.RouterID, int, int) {}
+	}
+	if h.VCRelease == nil {
+		h.VCRelease = func(*Packet, topo.RouterID, int, int) {}
+	}
+	if h.Eject == nil {
+		h.Eject = func(*Packet, topo.RouterID, int, bool) {}
+	}
+	if h.EndCycle == nil {
+		h.EndCycle = func() {}
+	}
+	n.checks = h
+}
+
+// Graph returns the channel graph the network simulates.
+func (n *Network) Graph() *topo.Graph { return n.g }
+
+// Quiescent reports whether the simulation holds no packet state at all:
+// no flits buffered or in flight, no source backlog, and no packet
+// mid-injection. A quiescent network must have every credit home and
+// every virtual channel free — the end-of-run invariant Finalize checks.
+func (n *Network) Quiescent() bool {
+	for i := range n.sources {
+		if n.sources[i].cur != nil || n.sources[i].backlogLen() != 0 {
+			return false
+		}
+	}
+	buffered, inFlight := n.Inventory()
+	return buffered+inFlight == 0
+}
+
+// ChannelAudit is the credit-conservation snapshot of one network
+// channel's virtual channel, identified by its upstream (sending) end.
+// At every instant the VC's buffer slots are fully accounted for:
+//
+//	Credits + Buffered + FlitsInFlight + CreditsInFlight == Depth
+//
+// Credits sit at the upstream router, buffered flits at the downstream
+// input VC, and the two in-flight terms are flits on the forward channel
+// and credits on the reverse channel (both live in the event calendar).
+type ChannelAudit struct {
+	Router          topo.RouterID // upstream router
+	Port            int           // upstream output port
+	VC              int
+	Depth           int // per-VC buffer depth: the credit pool size
+	Credits         int // credits held at the upstream output
+	Buffered        int // flits in the downstream input VC buffer
+	FlitsInFlight   int // flits on the forward channel (scheduled arrivals)
+	CreditsInFlight int // credits on the reverse channel
+}
+
+// Outstanding sums every slot the audit can see; it equals Depth when
+// the channel's credit loop is intact.
+func (a ChannelAudit) Outstanding() int {
+	return a.Credits + a.Buffered + a.FlitsInFlight + a.CreditsInFlight
+}
+
+// AuditChannels walks every network channel VC and reports its credit
+// accounting. It is O(channels + calendar) and intended for sanitizer
+// strides and end-of-run checks, not the per-cycle hot path.
+func (n *Network) AuditChannels(visit func(ChannelAudit)) {
+	key := func(r topo.RouterID, port, vc int) int64 {
+		return int64(r)<<32 | int64(port)<<16 | int64(vc)
+	}
+	flits := map[int64]int{}   // (downstream router, in port, vc) -> count
+	credits := map[int64]int{} // (upstream router, out port, vc) -> count
+	for _, evs := range n.calendar {
+		for _, ev := range evs {
+			switch ev.kind {
+			case evFlit:
+				flits[key(topo.RouterID(ev.router), int(ev.port), int(ev.vc))]++
+			case evCredit:
+				credits[key(topo.RouterID(ev.router), int(ev.port), int(ev.vc))]++
+			}
+		}
+	}
+	for r := range n.routers {
+		rt := &n.routers[r]
+		for p := range rt.out {
+			op := &rt.out[p]
+			if op.kind != topo.Network {
+				continue
+			}
+			down := &n.routers[op.peer].in[op.peerPort]
+			for v := 0; v < n.vcs; v++ {
+				visit(ChannelAudit{
+					Router:          topo.RouterID(r),
+					Port:            p,
+					VC:              v,
+					Depth:           n.vcDepth,
+					Credits:         op.credits[v],
+					Buffered:        down.vcs[v].count,
+					FlitsInFlight:   flits[key(op.peer, op.peerPort, v)],
+					CreditsInFlight: credits[key(topo.RouterID(r), p, v)],
+				})
+			}
+		}
+	}
+}
+
+// FaultKind selects a deliberate corruption for InjectFault. The faults
+// exist so the sanitizer's own tests can prove each checker fires; they
+// are never triggered by the simulator itself.
+type FaultKind int
+
+const (
+	// FaultDropFlit silently deletes the flit at the head of a network
+	// input VC, without returning a credit: a lost flit.
+	FaultDropFlit FaultKind = iota
+	// FaultLeakCredit destroys one credit of a network output VC.
+	FaultLeakCredit
+	// FaultDupCredit forges one extra credit at a network output VC.
+	FaultDupCredit
+	// FaultFreeVC clears the wormhole owner of a downstream VC while a
+	// packet still holds it, letting the allocator double-grant it.
+	FaultFreeVC
+	// FaultSeizeVC marks a free downstream VC as owned by a phantom
+	// packet that will never release it: every head flit routed there
+	// stalls forever — a wedged wormhole.
+	FaultSeizeVC
+)
+
+// InjectFault applies a deliberate fault at (r, port, vc). For
+// FaultDropFlit, port indexes the router's input ports; for the others it
+// indexes output ports. It returns an error when the target cannot host
+// the fault (wrong port kind, empty buffer, free VC), so tests can scan
+// for a viable site.
+func (n *Network) InjectFault(k FaultKind, r topo.RouterID, port, vc int) error {
+	rt := &n.routers[r]
+	switch k {
+	case FaultDropFlit:
+		if port < 0 || port >= len(rt.in) || rt.in[port].kind != topo.Network {
+			return fmt.Errorf("sim: fault needs a network input port, got router %d port %d", r, port)
+		}
+		ip := &rt.in[port]
+		q := &ip.vcs[vc]
+		if q.empty() {
+			return fmt.Errorf("sim: router %d in port %d vc %d is empty", r, port, vc)
+		}
+		q.pop()
+		if q.empty() {
+			ip.occ &^= 1 << uint(vc)
+		}
+		return nil
+	case FaultLeakCredit, FaultDupCredit:
+		if port < 0 || port >= len(rt.out) || rt.out[port].credits == nil {
+			return fmt.Errorf("sim: fault needs a network output port, got router %d port %d", r, port)
+		}
+		if k == FaultLeakCredit {
+			if rt.out[port].credits[vc] <= 0 {
+				return fmt.Errorf("sim: router %d out port %d vc %d has no credit to leak", r, port, vc)
+			}
+			rt.out[port].credits[vc]--
+		} else {
+			rt.out[port].credits[vc]++
+		}
+		return nil
+	case FaultFreeVC:
+		if port < 0 || port >= len(rt.out) || rt.out[port].owner == nil {
+			return fmt.Errorf("sim: fault needs a network output port, got router %d port %d", r, port)
+		}
+		if rt.out[port].owner[vc] == nil {
+			return fmt.Errorf("sim: router %d out port %d vc %d is not owned", r, port, vc)
+		}
+		rt.out[port].owner[vc] = nil
+		return nil
+	case FaultSeizeVC:
+		if port < 0 || port >= len(rt.out) || rt.out[port].owner == nil {
+			return fmt.Errorf("sim: fault needs a network output port, got router %d port %d", r, port)
+		}
+		if rt.out[port].owner[vc] != nil {
+			return fmt.Errorf("sim: router %d out port %d vc %d is already owned", r, port, vc)
+		}
+		rt.out[port].owner[vc] = &Packet{ID: -1}
+		return nil
+	default:
+		return fmt.Errorf("sim: unknown fault kind %d", k)
+	}
+}

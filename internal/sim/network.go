@@ -172,11 +172,12 @@ type Network struct {
 	onDeliver          func(p *Packet, cycle int64)
 	onMaterialize      func(p *Packet)
 
-	// Telemetry hooks; nil (the default) means every pipeline hook is a
-	// single pointer check — the zero-overhead-when-off contract that
-	// BenchmarkTelemetryOff guards.
+	// Telemetry and sanitizer hooks; nil (the default) means every
+	// pipeline hook is a single pointer check — the zero-overhead-when-off
+	// contract that BenchmarkTelemetryOff and BenchmarkChecksOff guard.
 	probes *Probes
 	tracer *telemetry.Tracer
+	checks *CheckHooks
 
 	injectedTotal  int64 // packets materialized into the network
 	deliveredTotal int64 // packets fully delivered (tail flit ejected)
@@ -339,6 +340,9 @@ func (n *Network) Step() {
 	if n.probes != nil && n.cycle%n.probes.stride == 0 {
 		n.sampleProbes()
 	}
+	if n.checks != nil {
+		n.checks.EndCycle()
+	}
 	n.cycle++
 }
 
@@ -358,6 +362,9 @@ func (n *Network) processEvents() {
 			op := &n.routers[ev.router].out[ev.port]
 			op.credits[ev.vc]++
 			op.pending[ev.vc]--
+			if n.checks != nil {
+				n.checks.CreditReturn(topo.RouterID(ev.router), int(ev.port), int(ev.vc), op.credits[ev.vc])
+			}
 		case evDeliver:
 			n.flitsDelivered++
 			if n.tracer != nil {
@@ -366,6 +373,9 @@ func (n *Network) processEvents() {
 					Src: int(ev.pkt.Src), Dst: int(ev.pkt.Dst),
 					Router: int(ev.router), Port: int(ev.port), VC: -1, Tail: ev.tail,
 				})
+			}
+			if n.checks != nil {
+				n.checks.Eject(ev.pkt, topo.RouterID(ev.router), int(ev.port), ev.tail)
 			}
 			if !ev.tail {
 				break
@@ -432,6 +442,9 @@ func (n *Network) inject() {
 				Src: int(s.cur.Src), Dst: int(s.cur.Dst),
 				Router: int(r), Port: inPort, VC: 0, Tail: tail,
 			})
+		}
+		if n.checks != nil {
+			n.checks.Inject(s.cur, r, inPort, tail)
 		}
 		if tail {
 			s.cur = nil

@@ -28,6 +28,9 @@ func (n *Network) routeAllocate() {
 				dec := n.alg.Route(view, q.peek().pkt)
 				q.out = dec
 				q.routed = true
+				if n.checks != nil {
+					n.checks.Route(q.peek().pkt, rt.id, dec.Port, dec.VC)
+				}
 				if n.tracer != nil {
 					pkt := q.peek().pkt
 					n.tracer.Record(telemetry.FlitEvent{

@@ -49,6 +49,12 @@ type RunConfig struct {
 	// Tracer, when non-nil, receives every flit pipeline event (inject,
 	// route, VC allocation, crossbar traversal, eject) of the run.
 	Tracer *telemetry.Tracer
+	// Attach, when non-nil, is called with the run's freshly built
+	// network after probes and tracer are installed and before the first
+	// cycle — the hook by which callers install additional
+	// instrumentation such as the internal/check sanitizer. It is called
+	// once per network, so a LoadSweep invokes it once per load point.
+	Attach func(n *Network)
 	// Observe, when non-nil, is called with the run's network after the
 	// run completes (drained or saturated), before RunLoadPoint returns
 	// — the hook for end-of-run inspection such as channel loads or
@@ -114,6 +120,9 @@ func RunLoadPoint(g *topo.Graph, alg Algorithm, cfg Config, rc RunConfig) (LoadP
 	}
 	if rc.Tracer != nil {
 		n.AttachTracer(rc.Tracer)
+	}
+	if rc.Attach != nil {
+		rc.Attach(n)
 	}
 	Live.RunsStarted.Add(1)
 	var lp livePoll
@@ -252,6 +261,13 @@ func RunBatch(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern,
 
 // RunBatchStop is RunBatch with a Stop hook, polled as in RunConfig.Stop.
 func RunBatchStop(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, batchSize, maxCycles int, stop func() bool) (BatchResult, error) {
+	return RunBatchInstrumented(g, alg, cfg, pattern, batchSize, maxCycles, stop, nil)
+}
+
+// RunBatchInstrumented is RunBatchStop with an attach hook, called with
+// the freshly built network before the first cycle (the RunConfig.Attach
+// analogue for batch experiments).
+func RunBatchInstrumented(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, batchSize, maxCycles int, stop func() bool, attach func(*Network)) (BatchResult, error) {
 	if batchSize < 1 {
 		return BatchResult{}, fmt.Errorf("sim: batch size must be >= 1")
 	}
@@ -261,6 +277,9 @@ func RunBatchStop(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Patt
 	n, err := New(g, alg, cfg)
 	if err != nil {
 		return BatchResult{}, err
+	}
+	if attach != nil {
+		attach(n)
 	}
 	Live.RunsStarted.Add(1)
 	var lp livePoll

@@ -217,6 +217,15 @@ func (n *Network) traverse(rt *router, inport, vc int) {
 	switch op.kind {
 	case topo.Network:
 		op.credits[dec.VC]--
+		if n.checks != nil {
+			n.checks.CreditConsume(rt.id, dec.Port, dec.VC, op.credits[dec.VC])
+			if isHead {
+				n.checks.VCAcquire(f.pkt, op.owner[dec.VC], rt.id, dec.Port, dec.VC)
+			}
+			if f.tail {
+				n.checks.VCRelease(f.pkt, rt.id, dec.Port, dec.VC)
+			}
+		}
 		// Wormhole VC allocation: the head flit acquires the downstream
 		// VC, the tail flit releases it (a single-flit packet does both
 		// in one traversal, leaving it free).

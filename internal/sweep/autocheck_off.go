@@ -1,0 +1,7 @@
+//go:build !check
+
+package sweep
+
+// autoCheck is off in normal builds; Engine.Check opts individual
+// engines into sanitized execution.
+const autoCheck = false

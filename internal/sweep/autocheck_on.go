@@ -1,0 +1,9 @@
+//go:build check
+
+package sweep
+
+// autoCheck forces every engine into sanitized execution when the module
+// is built with -tags=check (the CI invariant job), so the whole test
+// suite's sweeps run under the runtime checker without each call site
+// opting in.
+const autoCheck = true

@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 
+	"flatnet/internal/check"
 	"flatnet/internal/core"
 	"flatnet/internal/routing"
 	"flatnet/internal/sim"
@@ -126,6 +128,39 @@ func (j Job) buildPattern(nodes int) (traffic.Pattern, error) {
 // invocation builds a private network and RNG from the job's seed, which
 // is what makes parallel sweeps bit-identical to sequential ones.
 func (j Job) Run(stop func() bool) (Result, error) {
+	return j.run(stop, nil)
+}
+
+// RunChecked is Run with the internal/check runtime sanitizer attached
+// to the job's network: every flit-conservation, credit, virtual-channel
+// and progress invariant is asserted throughout the run, and any
+// violation fails the job. The sanitizer observes without perturbing, so
+// a checked job's Result is bit-identical to an unchecked one — which is
+// why Check is an Engine attribute rather than a hashed Job field.
+func (j Job) RunChecked(stop func() bool) (Result, error) {
+	var sans []*check.Sanitizer
+	res, err := j.run(stop, func(n *sim.Network) {
+		sans = append(sans, check.Attach(n, check.Config{}))
+	})
+	if err != nil {
+		return res, err
+	}
+	var errs []error
+	for _, s := range sans {
+		if ferr := s.Finalize(); ferr != nil {
+			errs = append(errs, ferr)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return res, fmt.Errorf("sweep: job %s (%s %s %s) failed invariant checks: %w",
+			res.Hash[:12], j.Net, j.Alg, j.Mode, err)
+	}
+	return res, nil
+}
+
+// run is the shared body of Run and RunChecked: attach, when non-nil,
+// receives the job's freshly built network before the first cycle.
+func (j Job) run(stop func() bool, attach func(*sim.Network)) (Result, error) {
 	j = j.Normalize()
 	res := Result{Job: j, Hash: j.Hash()}
 	g, alg, pat, cfg, err := j.build()
@@ -137,7 +172,7 @@ func (j Job) Run(stop func() bool) (Result, error) {
 		rc := sim.RunConfig{
 			Load: j.Load, Pattern: pat,
 			Warmup: j.Warmup, Measure: j.Measure, MaxCycles: j.MaxCycles,
-			Stop: stop,
+			Stop: stop, Attach: attach,
 		}
 		res.Point, err = sim.RunLoadPoint(g, alg, cfg, rc)
 	case ModeSaturation:
@@ -147,11 +182,11 @@ func (j Job) Run(stop func() bool) (Result, error) {
 			Load: 1.0, Pattern: pat,
 			Warmup: j.Warmup, Measure: j.Measure,
 			MaxCycles: j.Warmup + j.Measure + 1,
-			Stop:      stop,
+			Stop:      stop, Attach: attach,
 		}
 		res.Point, err = sim.RunLoadPoint(g, alg, cfg, rc)
 	case ModeBatch:
-		res.Batch, err = sim.RunBatchStop(g, alg, cfg, pat, j.BatchSize, j.MaxCycles, stop)
+		res.Batch, err = sim.RunBatchInstrumented(g, alg, cfg, pat, j.BatchSize, j.MaxCycles, stop, attach)
 	default:
 		err = fmt.Errorf("sweep: unknown mode %q", j.Mode)
 	}

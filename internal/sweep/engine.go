@@ -28,6 +28,12 @@ type Engine struct {
 	// fails with an error (0 = no budget). The per-job *cycle* budget is
 	// the job's own MaxCycles.
 	JobTimeout time.Duration
+	// Check runs every simulated job under the internal/check runtime
+	// sanitizer (Job.RunChecked): invariant violations fail the job.
+	// Results are bit-identical either way, so Check does not enter the
+	// job hash — but note that cache hits are served without re-checking.
+	// Building with -tags=check turns Check on for every engine.
+	Check bool
 
 	mu    sync.Mutex
 	stats Stats
@@ -167,7 +173,11 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 				start := time.Now()
 				stop := e.stopFunc(ctx, start)
 				e.live.inFlight.Add(1)
-				r, err := jobs[i].Run(stop)
+				run := jobs[i].Run
+				if e.Check || autoCheck {
+					run = jobs[i].RunChecked
+				}
+				r, err := run(stop)
 				elapsed := time.Since(start)
 				e.live.inFlight.Add(-1)
 				e.live.busyNanos.Add(int64(elapsed))

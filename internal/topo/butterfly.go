@@ -129,6 +129,11 @@ func (b *Butterfly) OutputFor(stage int, d NodeID) int {
 	return (int(d) / b.pow[b.N-1-stage]) % b.K
 }
 
+// AvgHops returns the inter-router hop count of any packet: every route
+// traverses all n-1 inter-stage channels regardless of source and
+// destination, which is what denies the butterfly path diversity.
+func (b *Butterfly) AvgHops() float64 { return float64(b.N - 1) }
+
 // EjectRouter returns the last-stage router from which node d ejects.
 func (b *Butterfly) EjectRouter(d NodeID) RouterID {
 	return b.RouterAt(b.N-1, int(d)/b.K)

@@ -104,6 +104,14 @@ func (f *FoldedClos) DownPorts(l int) (lo, hi int) {
 	return l * f.PairLinks, (l + 1) * f.PairLinks
 }
 
+// AvgUniformHops returns the expected inter-router hop count under
+// uniform traffic with self-traffic included: a destination on the same
+// leaf (probability Terminals/NumNodes) needs no network hop, anything
+// else ascends to a middle and descends — exactly two hops.
+func (f *FoldedClos) AvgUniformHops() float64 {
+	return 2 * (1 - float64(f.Terminals)/float64(f.NumNodes))
+}
+
 // TaperedClosForNodes builds the folded Clos used in the paper's §3.3
 // topology comparison: radix-"radix" routers, 2:1 taper so bisection
 // matches a butterfly of equal node count. Leaves have radix/2 terminals

@@ -89,6 +89,12 @@ func (h *Hypercube) RouterOf(node NodeID) RouterID {
 // PortForDim returns the port index for the dimension-d link.
 func (h *Hypercube) PortForDim(d int) int { return h.Concentration + d }
 
+// AvgUniformHops returns the expected Hamming distance between uniformly
+// random routers, self-traffic included: each of the Dims bits differs
+// with probability 1/2. Concentration does not change the figure, since
+// terminals are spread evenly over routers.
+func (h *Hypercube) AvgUniformHops() float64 { return float64(h.Dims) / 2 }
+
 // MinHops returns the Hamming distance between two routers.
 func (h *Hypercube) MinHops(a, b RouterID) int {
 	x := uint32(a) ^ uint32(b)
