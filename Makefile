@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck test race check checksweep bench figs quickfigs fuzz clean
+.PHONY: all build vet fmtcheck test race check checksweep bench benchall benchguard figs quickfigs fuzz clean
 
 # Tier-1 flow: build, static checks, tests, then the race detector over
 # the whole module — the sweep engine's worker pool must stay race-clean.
@@ -34,7 +34,19 @@ checksweep:
 
 check: build vet fmtcheck test race checksweep
 
+# bench refreshes the committed hot-loop baseline (BENCH_baseline.json)
+# after intentional performance changes; CI's bench-guard job holds
+# BenchmarkSimulatorCycles to it (<=10% slower, 0 allocs/op).
 bench:
+	$(GO) run ./cmd/benchguard -update
+
+# benchguard compares the hot loop against the committed baseline,
+# exactly as CI does.
+benchguard:
+	$(GO) run ./cmd/benchguard
+
+# benchall runs the full benchmark suite (paper figures + ablations).
+benchall:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every paper table and figure at full scale (tens of minutes

@@ -287,6 +287,9 @@ func BenchmarkTable4_Configs(b *testing.B) {
 // BenchmarkSimulatorCycles measures the simulator's raw cycle rate on the
 // paper's 32-ary 2-flat under CLOS AD at 50% uniform load — a
 // performance baseline for the engine itself rather than a paper figure.
+// A warmup reaches steady state before the timer starts so the allocation
+// figure reflects the hot path's zero-alloc contract (pools and calendar
+// slots are grown during warmup, then recycled forever after).
 func BenchmarkSimulatorCycles(b *testing.B) {
 	ff, err := flatnet.NewFlatFly(32, 2)
 	if err != nil {
@@ -297,6 +300,11 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 		b.Fatal(err)
 	}
 	n.SetPattern(flatnet.NewUniform(ff.NumNodes))
+	for i := 0; i < 2000; i++ {
+		n.GenerateBernoulli(0.5)
+		n.Step()
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.GenerateBernoulli(0.5)
@@ -409,11 +417,13 @@ func BenchmarkAblation_GreedyVsSequential(b *testing.B) {
 	wc := flatnet.NewWorstCase(ff.K, ff.NumRouters)
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		greedy, err := flatnet.RunBatch(ff.Graph(), flatnet.NewUGAL(ff), flatnet.DefaultConfig(), wc, 2, 0)
+		greedy, err := flatnet.RunBatch(ff.Graph(), flatnet.NewUGAL(ff), flatnet.DefaultConfig(),
+			flatnet.BatchConfig{Pattern: wc, BatchSize: 2})
 		if err != nil {
 			b.Fatal(err)
 		}
-		seq, err := flatnet.RunBatch(ff.Graph(), flatnet.NewUGALS(ff), flatnet.DefaultConfig(), wc, 2, 0)
+		seq, err := flatnet.RunBatch(ff.Graph(), flatnet.NewUGALS(ff), flatnet.DefaultConfig(),
+			flatnet.BatchConfig{Pattern: wc, BatchSize: 2})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,168 @@
+// Command benchguard holds the simulator's hot loop to its committed
+// performance baseline. It runs BenchmarkSimulatorCycles (several times,
+// keeping the best run), parses the result, and compares it against
+// BENCH_baseline.json at the repository root:
+//
+//   - more than zero allocations per cycle always fails — the hot path's
+//     zero-alloc contract (DESIGN.md §10) is absolute;
+//   - ns/op more than the tolerance (default 10%) above the baseline
+//     fails — the cycle rate may not silently regress.
+//
+// Refresh the baseline after an intentional performance change with
+// `make bench` (or `go run ./cmd/benchguard -update`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+const benchName = "BenchmarkSimulatorCycles"
+
+// baseline is the committed performance contract for one benchmark.
+type baseline struct {
+	Benchmark   string  `json:"benchmark"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// result is one parsed benchmark measurement.
+type result struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+}
+
+func main() {
+	var (
+		update    = flag.Bool("update", false, "rewrite the baseline from current measurements")
+		file      = flag.String("baseline", "BENCH_baseline.json", "baseline file path")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression")
+		count     = flag.Int("count", 3, "benchmark repetitions (best run is kept)")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
+	)
+	flag.Parse()
+	if err := run(*update, *file, *tolerance, *count, *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(update bool, file string, tolerance float64, count int, benchtime string) error {
+	best, err := measure(count, benchtime)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %.0f ns/op, %.0f B/op, %g allocs/op (best of %d)\n",
+		benchName, best.nsPerOp, best.bytesPerOp, best.allocsPerOp, count)
+
+	if update {
+		b := baseline{
+			Benchmark:   benchName,
+			NsPerOp:     best.nsPerOp,
+			BytesPerOp:  best.bytesPerOp,
+			AllocsPerOp: best.allocsPerOp,
+			Note:        "refresh with `make bench` after intentional performance changes",
+		}
+		out, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(file, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("baseline updated:", file)
+		return nil
+	}
+
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return fmt.Errorf("%w (generate it with `make bench`)", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("corrupt baseline %s: %w", file, err)
+	}
+	if base.Benchmark != benchName {
+		return fmt.Errorf("baseline %s pins %q, want %q", file, base.Benchmark, benchName)
+	}
+	if best.allocsPerOp > 0 {
+		return fmt.Errorf("hot loop allocates: %g allocs/op, the steady-state contract is 0", best.allocsPerOp)
+	}
+	limit := base.NsPerOp * (1 + tolerance)
+	if best.nsPerOp > limit {
+		return fmt.Errorf("hot loop regressed: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+			best.nsPerOp, base.NsPerOp, 100*(best.nsPerOp/base.NsPerOp-1), 100*tolerance)
+	}
+	fmt.Printf("within baseline: %.0f ns/op vs %.0f (%+.1f%%), 0 allocs/op\n",
+		best.nsPerOp, base.NsPerOp, 100*(best.nsPerOp/base.NsPerOp-1))
+	return nil
+}
+
+// measure runs the benchmark count times and returns the fastest run
+// (minimum ns/op), which is the least noisy estimator of the true cost.
+func measure(count int, benchtime string) (result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^"+benchName+"$", "-benchmem",
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return result{}, fmt.Errorf("go test -bench failed: %v\n%s", err, out)
+	}
+	var best result
+	found := false
+	for _, line := range strings.Split(string(out), "\n") {
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if !found || r.nsPerOp < best.nsPerOp {
+			best = r
+			// The alloc figures accompany the fastest run; steady-state
+			// allocations do not vary between runs anyway.
+		}
+		found = true
+	}
+	if !found {
+		return result{}, fmt.Errorf("no %s result in go test output:\n%s", benchName, out)
+	}
+	return best, nil
+}
+
+// parseLine extracts (ns/op, B/op, allocs/op) from one `go test -bench`
+// output line, e.g.:
+//
+//	BenchmarkSimulatorCycles  3114  371962 ns/op  1024 nodes  259 B/op  0 allocs/op
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], benchName) {
+		return result{}, false
+	}
+	var r result
+	seen := 0
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.nsPerOp = v
+			seen++
+		case "B/op":
+			r.bytesPerOp = v
+			seen++
+		case "allocs/op":
+			r.allocsPerOp = v
+			seen++
+		}
+	}
+	return r, seen == 3
+}

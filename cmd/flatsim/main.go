@@ -194,7 +194,9 @@ func run(o runOpts) error {
 		if o.check {
 			attach = func(n *flatnet.Network) { san = flatnet.AttachChecker(n, flatnet.CheckConfig{}) }
 		}
-		res, err := sim.RunBatchInstrumented(g, alg, cfg, p, o.batch, 0, nil, attach)
+		res, err := sim.RunBatch(g, alg, cfg, sim.BatchConfig{
+			Pattern: p, BatchSize: o.batch, Attach: attach,
+		})
 		if err != nil {
 			return err
 		}

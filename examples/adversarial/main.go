@@ -57,7 +57,8 @@ func main() {
 		fmt.Printf("%-8d", batch)
 		for _, name := range algs {
 			alg, _ := flatnet.NewFlatFlyAlgorithm(name, ff)
-			r, err := flatnet.RunBatch(ff.Graph(), alg, cfg, wc, batch, 0)
+			r, err := flatnet.RunBatch(ff.Graph(), alg, cfg,
+				flatnet.BatchConfig{Pattern: wc, BatchSize: batch})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -25,12 +25,13 @@ func main() {
 	// non-minimal when beneficial, sequential allocation.
 	alg := flatnet.NewClosAD(ff)
 
-	res, err := flatnet.RunLoadPoint(ff.Graph(), alg, flatnet.DefaultConfig(), flatnet.RunConfig{
-		Load:    0.5,
-		Pattern: flatnet.NewUniform(ff.NumNodes),
-		Warmup:  1000,
-		Measure: 1000,
-	})
+	// flatnet.Run applies the §3.2 warm-up/measure/drain methodology;
+	// unset options default to uniform-random traffic on the paper's
+	// router configuration.
+	res, err := flatnet.Run(ff, alg,
+		flatnet.WithLoad(0.5),
+		flatnet.WithWarmup(1000),
+		flatnet.WithMeasure(1000))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,10 +21,13 @@
 //
 //	ff, _ := flatnet.NewFlatFly(32, 2)            // 1024 nodes, radix 63
 //	alg := flatnet.NewClosAD(ff)                  // the paper's best router
-//	res, _ := flatnet.RunLoadPoint(ff.Graph(), alg, flatnet.DefaultConfig(),
-//	    flatnet.RunConfig{Load: 0.5, Pattern: flatnet.NewUniform(ff.NumNodes),
-//	        Warmup: 1000, Measure: 1000})
+//	res, _ := flatnet.Run(ff, alg, flatnet.WithLoad(0.5))
 //	fmt.Println(res.AvgLatency, res.AcceptedRate)
+//
+// Run's options select the traffic pattern, windows, router
+// configuration and instrumentation (WithPattern, WithWarmup,
+// WithMeasure, WithCheck, WithTelemetry, ...); RunLoadPoint, LoadSweep
+// and RunBatch are the explicit-configuration entry points underneath.
 //
 // The cmd/paperfigs binary regenerates every table and figure of the
 // paper's evaluation; see EXPERIMENTS.md for the index.
@@ -134,6 +137,8 @@ type (
 	ClosedLoopResult = sim.ClosedLoopResult
 	// LoadPointResult is one measured (load, latency, throughput) sample.
 	LoadPointResult = sim.LoadPointResult
+	// BatchConfig describes one Fig. 5 batch experiment.
+	BatchConfig = sim.BatchConfig
 	// BatchResult is one Fig. 5 batch experiment result.
 	BatchResult = sim.BatchResult
 	// Network is an instantiated simulation.

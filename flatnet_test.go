@@ -112,7 +112,7 @@ func TestFacadeBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := flatnet.RunBatch(ff.Graph(), alg, flatnet.DefaultConfig(),
-		flatnet.NewWorstCase(4, 4), 4, 0)
+		flatnet.BatchConfig{Pattern: flatnet.NewWorstCase(4, 4), BatchSize: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

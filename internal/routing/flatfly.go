@@ -8,6 +8,7 @@ package routing
 
 import (
 	"fmt"
+	"math/bits"
 
 	"flatnet/internal/core"
 	"flatnet/internal/sim"
@@ -18,13 +19,13 @@ import (
 // of the minimum cost seen so far, breaking ties uniformly at random. Use
 // via the minPicker helper below.
 type minPicker struct {
-	view    sim.RouterView
+	view    *sim.RouterView
 	best    int
 	bestArg int
 	ties    int
 }
 
-func newMinPicker(view sim.RouterView) minPicker {
+func newMinPicker(view *sim.RouterView) minPicker {
 	return minPicker{view: view, best: 1 << 30, bestArg: -1}
 }
 
@@ -44,10 +45,16 @@ func (m *minPicker) offer(cost, arg int) {
 	}
 }
 
-// ffBase carries shared flattened-butterfly routing helpers.
+// ffBase carries shared flattened-butterfly routing helpers. All per-flit
+// coordinate work reads the precomputed ffTables; the FlatFly itself is
+// kept only for construction-time facts (K, Dims, Multiplicity,
+// NumRouters).
 type ffBase struct {
 	f *core.FlatFly
+	t *ffTables
 }
+
+func newFFBase(f *core.FlatFly) ffBase { return ffBase{f: f, t: newFFTables(f)} }
 
 // costOnly tracks a running minimum cost where the winning argument is
 // irrelevant (queue-depth estimates for route decisions); unlike
@@ -65,20 +72,20 @@ func (c *costOnly) offer(cost int) {
 // eject returns the terminal-port decision for a packet at its
 // destination router.
 func (b ffBase) eject(p *sim.Packet) sim.OutRef {
-	return sim.OutRef{Port: b.f.TerminalIndex(p.Dst), VC: 0}
+	return sim.OutRef{Port: int(b.t.termPort[p.Dst]), VC: 0}
 }
 
 // bestCopyPort returns the port for (dim, digit) with the shortest queue
 // among parallel channel copies (Multiplicity is 1 in all paper
 // configurations, making this a direct lookup).
-func (b ffBase) bestCopyPort(view sim.RouterView, d, v int) (port, cost int) {
-	if b.f.Multiplicity == 1 {
-		p := b.f.PortFor(d, v, 0)
+func (b ffBase) bestCopyPort(view *sim.RouterView, d, v int) (port, cost int) {
+	if b.t.mult == 1 {
+		p := b.t.portFor(d, v, 0)
 		return p, view.QueueEstPort(p)
 	}
 	m := newMinPicker(view)
-	for c := 0; c < b.f.Multiplicity; c++ {
-		p := b.f.PortFor(d, v, c)
+	for c := 0; c < b.t.mult; c++ {
+		p := b.t.portFor(d, v, c)
 		m.offer(view.QueueEstPort(p), p)
 	}
 	return m.bestArg, m.best
@@ -87,16 +94,13 @@ func (b ffBase) bestCopyPort(view sim.RouterView, d, v int) (port, cost int) {
 // minAdaptiveHop picks the productive channel with the shortest queue
 // (§3.1 MIN AD) for a packet at router r destined to router dst, and
 // returns the decision with VC chosen by hops remaining offset by vcBase.
-func (b ffBase) minAdaptiveHop(view sim.RouterView, r, dst topo.RouterID, vcBase int) sim.OutRef {
-	hopsLeft := 0
+func (b ffBase) minAdaptiveHop(view *sim.RouterView, r, dst topo.RouterID, vcBase int) sim.OutRef {
+	diff := b.t.diff(r, dst)
+	hopsLeft := bits.OnesCount32(diff)
 	m := newMinPicker(view)
-	for d := 1; d <= b.f.Dims; d++ {
-		want := b.f.RouterDigit(dst, d)
-		if b.f.RouterDigit(r, d) == want {
-			continue
-		}
-		hopsLeft++
-		port, cost := b.bestCopyPort(view, d, want)
+	for ; diff != 0; diff &= diff - 1 {
+		d := bits.TrailingZeros32(diff) + 1
+		port, cost := b.bestCopyPort(view, d, b.t.digit(dst, d))
 		m.offer(cost, port)
 	}
 	return sim.OutRef{Port: m.bestArg, VC: vcBase + hopsLeft - 1}
@@ -104,36 +108,31 @@ func (b ffBase) minAdaptiveHop(view sim.RouterView, r, dst topo.RouterID, vcBase
 
 // dorHop returns the dimension-order (lowest differing dimension first)
 // next hop toward dst: the oblivious minimal route used by VAL's phases.
-func (b ffBase) dorHop(view sim.RouterView, r, dst topo.RouterID, vc int) sim.OutRef {
-	for d := 1; d <= b.f.Dims; d++ {
-		want := b.f.RouterDigit(dst, d)
-		if b.f.RouterDigit(r, d) != want {
-			c := 0
-			if b.f.Multiplicity > 1 {
-				c = view.RNG().Intn(b.f.Multiplicity)
-			}
-			return sim.OutRef{Port: b.f.PortFor(d, want, c), VC: vc}
-		}
+func (b ffBase) dorHop(view *sim.RouterView, r, dst topo.RouterID, vc int) sim.OutRef {
+	diff := b.t.diff(r, dst)
+	if diff == 0 {
+		panic("routing: dorHop called with r == dst")
 	}
-	panic("routing: dorHop called with r == dst")
+	d := bits.TrailingZeros32(diff) + 1
+	c := 0
+	if b.t.mult > 1 {
+		c = view.RNG().Intn(b.t.mult)
+	}
+	return sim.OutRef{Port: b.t.portFor(d, b.t.digit(dst, d), c), VC: vc}
 }
 
 // minQueueProductive returns the queue estimate of the channel MIN AD
 // would take toward dst: the minimum over productive channels.
-func (b ffBase) minQueueProductive(view sim.RouterView, r, dst topo.RouterID) int {
-	m := newCostOnly()
-	any := false
-	for d := 1; d <= b.f.Dims; d++ {
-		want := b.f.RouterDigit(dst, d)
-		if b.f.RouterDigit(r, d) == want {
-			continue
-		}
-		any = true
-		_, cost := b.bestCopyPort(view, d, want)
-		m.offer(cost)
-	}
-	if !any {
+func (b ffBase) minQueueProductive(view *sim.RouterView, r, dst topo.RouterID) int {
+	diff := b.t.diff(r, dst)
+	if diff == 0 {
 		return 0
+	}
+	m := newCostOnly()
+	for ; diff != 0; diff &= diff - 1 {
+		d := bits.TrailingZeros32(diff) + 1
+		_, cost := b.bestCopyPort(view, d, b.t.digit(dst, d))
+		m.offer(cost)
 	}
 	return m.best
 }
@@ -144,7 +143,7 @@ func (b ffBase) minQueueProductive(view sim.RouterView, r, dst topo.RouterID) in
 type MinAD struct{ ffBase }
 
 // NewMinAD builds MIN AD for a flattened butterfly.
-func NewMinAD(f *core.FlatFly) *MinAD { return &MinAD{ffBase{f}} }
+func NewMinAD(f *core.FlatFly) *MinAD { return &MinAD{newFFBase(f)} }
 
 // Name implements sim.Algorithm.
 func (a *MinAD) Name() string { return "MIN AD" }
@@ -161,9 +160,9 @@ func (a *MinAD) NumVCs() int {
 func (a *MinAD) Sequential() bool { return false }
 
 // Route implements sim.Algorithm.
-func (a *MinAD) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+func (a *MinAD) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
 	r := view.Router()
-	dst := a.f.RouterOf(p.Dst)
+	dst := topo.RouterID(a.t.routerOf[p.Dst])
 	if r == dst {
 		return a.eject(p)
 	}
@@ -176,7 +175,7 @@ func (a *MinAD) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
 type Valiant struct{ ffBase }
 
 // NewValiant builds VAL for a flattened butterfly.
-func NewValiant(f *core.FlatFly) *Valiant { return &Valiant{ffBase{f}} }
+func NewValiant(f *core.FlatFly) *Valiant { return &Valiant{newFFBase(f)} }
 
 // Name implements sim.Algorithm.
 func (a *Valiant) Name() string { return "VAL" }
@@ -188,11 +187,11 @@ func (a *Valiant) NumVCs() int { return 2 }
 func (a *Valiant) Sequential() bool { return false }
 
 // Route implements sim.Algorithm.
-func (a *Valiant) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+func (a *Valiant) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
 	r := view.Router()
-	dst := a.f.RouterOf(p.Dst)
+	dst := topo.RouterID(a.t.routerOf[p.Dst])
 	if p.Phase == sim.PhaseNew {
-		p.Inter = int32(view.RNG().Intn(a.f.NumRouters))
+		p.Inter = int32(view.RNG().Intn(a.t.numRouters))
 		p.Phase = sim.PhaseNonMinimal
 	}
 	if p.Phase == sim.PhaseNonMinimal && (topo.RouterID(p.Inter) == r || topo.RouterID(p.Inter) == dst) {
@@ -219,10 +218,10 @@ type UGAL struct {
 }
 
 // NewUGAL builds greedy UGAL.
-func NewUGAL(f *core.FlatFly) *UGAL { return &UGAL{ffBase{f}, false} }
+func NewUGAL(f *core.FlatFly) *UGAL { return &UGAL{newFFBase(f), false} }
 
 // NewUGALS builds UGAL-S (sequential allocation).
-func NewUGALS(f *core.FlatFly) *UGAL { return &UGAL{ffBase{f}, true} }
+func NewUGALS(f *core.FlatFly) *UGAL { return &UGAL{newFFBase(f), true} }
 
 // Name implements sim.Algorithm.
 func (a *UGAL) Name() string {
@@ -240,9 +239,9 @@ func (a *UGAL) NumVCs() int { return a.f.Dims + 1 }
 func (a *UGAL) Sequential() bool { return a.seq }
 
 // Route implements sim.Algorithm.
-func (a *UGAL) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+func (a *UGAL) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
 	r := view.Router()
-	dst := a.f.RouterOf(p.Dst)
+	dst := topo.RouterID(a.t.routerOf[p.Dst])
 	if p.Phase == sim.PhaseNew {
 		a.decide(view, p, r, dst)
 	}
@@ -260,18 +259,18 @@ func (a *UGAL) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
 
 // decide makes the source-router choice between minimal and Valiant using
 // the product of queue length and hop count as the delay estimate (§3.1).
-func (a *UGAL) decide(view sim.RouterView, p *sim.Packet, r, dst topo.RouterID) {
-	b := topo.RouterID(view.RNG().Intn(a.f.NumRouters))
+func (a *UGAL) decide(view *sim.RouterView, p *sim.Packet, r, dst topo.RouterID) {
+	b := topo.RouterID(view.RNG().Intn(a.t.numRouters))
 	if b == r || b == dst || r == dst {
 		p.Phase = sim.PhaseMinimal
 		return
 	}
-	hMin := a.f.MinHops(r, dst)
-	hNM := a.f.MinHops(r, b) + a.f.MinHops(b, dst)
+	hMin := a.t.minHops(r, dst)
+	hNM := a.t.minHops(r, b) + a.t.minHops(b, dst)
 	qMin := a.minQueueProductive(view, r, dst)
 	// Queue of the first hop VAL would take toward b (dimension order).
-	d := a.f.DiffDims(r, b)[0]
-	_, qNM := a.bestCopyPort(view, d, a.f.RouterDigit(b, d))
+	d := bits.TrailingZeros32(a.t.diff(r, b)) + 1
+	_, qNM := a.bestCopyPort(view, d, a.t.digit(b, d))
 	if qMin*hMin <= qNM*hNM {
 		p.Phase = sim.PhaseMinimal
 	} else {
@@ -292,7 +291,7 @@ func (a *UGAL) decide(view sim.RouterView, p *sim.Packet, r, dst topo.RouterID) 
 type ClosAD struct{ ffBase }
 
 // NewClosAD builds CLOS AD for a flattened butterfly.
-func NewClosAD(f *core.FlatFly) *ClosAD { return &ClosAD{ffBase{f}} }
+func NewClosAD(f *core.FlatFly) *ClosAD { return &ClosAD{newFFBase(f)} }
 
 // Name implements sim.Algorithm.
 func (a *ClosAD) Name() string { return "CLOS AD" }
@@ -304,9 +303,9 @@ func (a *ClosAD) NumVCs() int { return a.f.Dims + 1 }
 func (a *ClosAD) Sequential() bool { return true }
 
 // Route implements sim.Algorithm.
-func (a *ClosAD) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+func (a *ClosAD) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
 	r := view.Router()
-	dst := a.f.RouterOf(p.Dst)
+	dst := topo.RouterID(a.t.routerOf[p.Dst])
 	if p.Phase == sim.PhaseNew {
 		a.decide(view, p, r, dst)
 	}
@@ -327,18 +326,19 @@ func (a *ClosAD) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
 // decide compares the best minimal queue against the best of all
 // non-minimal queues in the differing dimensions ("comparing the depth of
 // all of the non-minimal queues", §3.2).
-func (a *ClosAD) decide(view sim.RouterView, p *sim.Packet, r, dst topo.RouterID) {
+func (a *ClosAD) decide(view *sim.RouterView, p *sim.Packet, r, dst topo.RouterID) {
 	if r == dst {
 		p.Phase = sim.PhaseMinimal
 		return
 	}
-	diff := a.f.DiffDims(r, dst)
-	hMin := len(diff)
+	diff := a.t.diff(r, dst)
+	hMin := bits.OnesCount32(diff)
 	qMin := a.minQueueProductive(view, r, dst)
 	m := newCostOnly()
-	for _, d := range diff {
-		own := a.f.RouterDigit(r, d)
-		for v := 0; v < a.f.K; v++ {
+	for dd := diff; dd != 0; dd &= dd - 1 {
+		d := bits.TrailingZeros32(dd) + 1
+		own := a.t.digit(r, d)
+		for v := 0; v < a.t.k; v++ {
 			if v == own {
 				continue
 			}
@@ -353,11 +353,10 @@ func (a *ClosAD) decide(view sim.RouterView, p *sim.Packet, r, dst topo.RouterID
 		return
 	}
 	p.Phase = sim.PhaseNonMinimal
-	mask := uint32(0)
-	for _, d := range diff {
-		mask |= 1 << uint(d)
-	}
-	p.DimMask = mask
+	// Packet ascent state uses bit d for dimension d; the table mask uses
+	// bit d-1, so shift by one. Preserving the packet-visible encoding
+	// keeps replayed runs bit-identical.
+	p.DimMask = diff << 1
 }
 
 // ascend processes the remaining ascent dimensions in order. For each, it
@@ -365,19 +364,19 @@ func (a *ClosAD) decide(view sim.RouterView, p *sim.Packet, r, dst topo.RouterID
 // of the channel the descent would later need for that dimension. It
 // returns (decision, true) when a physical hop is taken, or (_, false)
 // once every remaining dimension chose to stay.
-func (a *ClosAD) ascend(view sim.RouterView, p *sim.Packet, r, dst topo.RouterID) (sim.OutRef, bool) {
+func (a *ClosAD) ascend(view *sim.RouterView, p *sim.Packet, r, dst topo.RouterID) (sim.OutRef, bool) {
 	for p.DimMask != 0 {
-		d := lowestBit(p.DimMask)
+		d := bits.TrailingZeros32(p.DimMask)
 		p.DimMask &^= 1 << uint(d)
-		own := a.f.RouterDigit(r, d)
-		want := a.f.RouterDigit(dst, d)
+		own := a.t.digit(r, d)
+		want := a.t.digit(dst, d)
 		m := newMinPicker(view)
 		stayCost := 0
 		if own != want {
 			_, stayCost = a.bestCopyPort(view, d, want)
 		}
 		m.offer(stayCost, -1) // arg -1 = stay
-		for v := 0; v < a.f.K; v++ {
+		for v := 0; v < a.t.k; v++ {
 			if v == own {
 				continue
 			}
@@ -389,15 +388,6 @@ func (a *ClosAD) ascend(view sim.RouterView, p *sim.Packet, r, dst topo.RouterID
 		}
 	}
 	return sim.OutRef{}, false
-}
-
-func lowestBit(m uint32) int {
-	for i := 0; i < 32; i++ {
-		if m&(1<<uint(i)) != 0 {
-			return i
-		}
-	}
-	return -1
 }
 
 // NewFlatFlyAlgorithm constructs a flattened-butterfly algorithm by name:

@@ -207,7 +207,8 @@ func TestFig5BatchTransients(t *testing.T) {
 	f := ff(t, 8, 2)
 	wc := traffic.NewWorstCase(f.K, f.NumRouters)
 	norm := func(alg sim.Algorithm, batch int) float64 {
-		res, err := sim.RunBatch(f.Graph(), alg, sim.DefaultConfig(), wc, batch, 100000)
+		res, err := sim.RunBatch(f.Graph(), alg, sim.DefaultConfig(),
+			sim.BatchConfig{Pattern: wc, BatchSize: batch, MaxCycles: 100000})
 		if err != nil {
 			t.Fatalf("%s: %v", alg.Name(), err)
 		}
@@ -301,11 +302,13 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		func(f *core.FlatFly) sim.Algorithm { return NewUGAL(f) },
 		func(f *core.FlatFly) sim.Algorithm { return NewClosAD(f) },
 	} {
-		r1, err := sim.RunBatch(f.Graph(), mk(f), sim.DefaultConfig(), wc, 8, 0)
+		r1, err := sim.RunBatch(f.Graph(), mk(f), sim.DefaultConfig(),
+			sim.BatchConfig{Pattern: wc, BatchSize: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
-		r2, err := sim.RunBatch(f.Graph(), mk(f), sim.DefaultConfig(), wc, 8, 0)
+		r2, err := sim.RunBatch(f.Graph(), mk(f), sim.DefaultConfig(),
+			sim.BatchConfig{Pattern: wc, BatchSize: 8})
 		if err != nil {
 			t.Fatal(err)
 		}

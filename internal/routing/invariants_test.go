@@ -17,7 +17,7 @@ type vcBoundsChecker struct {
 	g *topo.Graph
 }
 
-func (c *vcBoundsChecker) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+func (c *vcBoundsChecker) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
 	dec := c.Algorithm.Route(view, p)
 	if dec.VC < 0 || dec.VC >= c.Algorithm.NumVCs() {
 		c.t.Errorf("%s: VC %d out of [0,%d)", c.Algorithm.Name(), dec.VC, c.Algorithm.NumVCs())

@@ -41,7 +41,7 @@ func (a *OneDimUGAL) NumVCs() int { return 2 }
 func (a *OneDimUGAL) Sequential() bool { return !a.minimalOnly }
 
 // Route implements sim.Algorithm.
-func (a *OneDimUGAL) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+func (a *OneDimUGAL) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
 	r := view.Router()
 	dst := a.f.RouterOf(p.Dst)
 	if r == dst {

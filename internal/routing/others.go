@@ -30,7 +30,7 @@ func (a *ButterflyDest) Sequential() bool { return false }
 
 // Route implements sim.Algorithm. The last stage's chosen output is the
 // ejection port itself (copy 0 of the terminal's logical channel).
-func (a *ButterflyDest) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+func (a *ButterflyDest) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
 	stage, _ := a.b.StageOf(view.Router())
 	o := a.b.OutputFor(stage, p.Dst)
 	if stage == a.b.N-1 || a.b.Dilation == 1 {
@@ -68,7 +68,7 @@ func (a *FoldedClosAdaptive) NumVCs() int { return 1 }
 func (a *FoldedClosAdaptive) Sequential() bool { return true }
 
 // Route implements sim.Algorithm.
-func (a *FoldedClosAdaptive) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+func (a *FoldedClosAdaptive) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
 	r := view.Router()
 	dstLeaf := a.f.LeafOf(p.Dst)
 	if a.f.IsLeaf(r) {
@@ -113,7 +113,7 @@ func (a *ECube) NumVCs() int { return 1 }
 func (a *ECube) Sequential() bool { return false }
 
 // Route implements sim.Algorithm.
-func (a *ECube) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+func (a *ECube) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
 	r := int(view.Router())
 	d := int(a.h.RouterOf(p.Dst))
 	if r == d {
@@ -150,7 +150,7 @@ func (a *GHCMinAdaptive) NumVCs() int { return len(a.h.Radices) }
 func (a *GHCMinAdaptive) Sequential() bool { return false }
 
 // Route implements sim.Algorithm.
-func (a *GHCMinAdaptive) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+func (a *GHCMinAdaptive) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
 	r := view.Router()
 	d := topo.RouterID(p.Dst) // one node per router
 	if r == d {

@@ -41,7 +41,7 @@ const (
 )
 
 // Route implements sim.Algorithm.
-func (a *TorusDOR) Route(view sim.RouterView, p *sim.Packet) sim.OutRef {
+func (a *TorusDOR) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
 	r := view.Router()
 	dst := topo.RouterID(p.Dst) // one node per router
 	if r == dst {

@@ -203,7 +203,7 @@ func (n *Network) InjectFault(k FaultKind, r topo.RouterID, port, vc int) error 
 		}
 		q.pop()
 		if q.empty() {
-			ip.occ &^= 1 << uint(vc)
+			n.clearVC(rt, ip, vc)
 		}
 		return nil
 	case FaultLeakCredit, FaultDupCredit:

@@ -1,0 +1,7 @@
+package sim
+
+// SetStepAll switches a network between the active-worklist scheduler
+// (false, the default) and the debug full-scan scheduler that visits
+// every router and source each cycle (true). The two must be
+// observationally identical; worklist_test.go holds them to it.
+func SetStepAll(n *Network, v bool) { n.stepAll = v }

@@ -79,7 +79,7 @@ func TestCreditStarvationWithTinyBuffers(t *testing.T) {
 	})
 	// Only node 0 injects.
 	for i := 0; i < 2000; i++ {
-		n.sources[0].pushTimestamp(n.Cycle())
+		n.pushArrival(0, n.Cycle())
 		n.Step()
 	}
 	rate := float64(delivered) / 2000
@@ -133,7 +133,7 @@ func TestZeroLoadLatencyComposition(t *testing.T) {
 	n.SetPattern(traffic.NewFixed("single", tab))
 	var at int64 = -1
 	n.OnDeliver(func(p *Packet, c int64) { at = c })
-	n.sources[0].pushTimestamp(0)
+	n.pushArrival(0, 0)
 	for i := 0; i < 30 && at < 0; i++ {
 		n.Step()
 	}
@@ -163,7 +163,7 @@ func TestRouterDelayPipeline(t *testing.T) {
 		n.SetPattern(traffic.NewFixed("single", tab))
 		var at int64 = -1
 		n.OnDeliver(func(p *Packet, c int64) { at = c })
-		n.sources[0].pushTimestamp(0)
+		n.pushArrival(0, 0)
 		for i := 0; i < 30 && at < 0; i++ {
 			n.Step()
 		}

@@ -44,7 +44,7 @@ func TestMultiFlitSinglePacketLatency(t *testing.T) {
 		n.SetPattern(traffic.NewFixed("single", tab))
 		var deliveredAt int64 = -1
 		n.OnDeliver(func(p *Packet, cycle int64) { deliveredAt = cycle })
-		n.sources[0].pushTimestamp(0)
+		n.pushArrival(0, 0)
 		for i := 0; i < 40 && deliveredAt < 0; i++ {
 			n.Step()
 		}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"flatnet/internal/rng"
 	"flatnet/internal/telemetry"
@@ -106,18 +107,20 @@ type inPort struct {
 }
 
 type outPort struct {
-	kind      topo.PortKind
-	peer      topo.RouterID
-	peerPort  int
-	node      topo.NodeID
-	latency   int
-	credits   []int     // per VC free slots downstream; nil for Terminal outputs
-	pending   []int     // queue estimate per VC (routed here + in flight + downstream occupancy)
-	delta     []int     // same-cycle reservations, folded into pending after allocation
-	owner     []*Packet // per VC: packet holding the downstream VC (wormhole); nil entries mean free
-	rr        int       // round-robin pointer for switch allocation
-	nextFree  int64     // first cycle at which the channel can transmit another flit
-	flitsSent int64     // traffic counter for utilization reporting
+	kind       topo.PortKind
+	peer       topo.RouterID
+	peerPort   int
+	node       topo.NodeID
+	latency    int
+	credits    []int     // per VC free slots downstream; nil for Terminal outputs
+	pending    []int     // queue estimate per VC (routed here + in flight + downstream occupancy)
+	delta      []int     // same-cycle reservations, folded into pending after allocation
+	pendingSum int       // sum of pending over VCs, maintained incrementally for O(1) QueueEstPort
+	deltaSum   int       // sum of delta over VCs
+	owner      []*Packet // per VC: packet holding the downstream VC (wormhole); nil entries mean free
+	rr         int       // round-robin pointer for switch allocation
+	nextFree   int64     // first cycle at which the channel can transmit another flit
+	flitsSent  int64     // traffic counter for utilization reporting
 }
 
 type router struct {
@@ -126,9 +129,11 @@ type router struct {
 	out []outPort
 	rng *rng.Source
 
+	occVCs  int32     // occupied input VCs; > 0 keeps the router on the active worklist
 	touched []int32   // (port*vcs + vc) entries with nonzero delta this cycle
 	grants  []int16   // per-input-port grants this cycle
 	reqs    [][]int32 // per-output requester list, entries are (inport*vcs... see reqKey)
+	granted []bool    // per-reqKey grant scratch for the age arbiter; nil unless AgeArbiter
 }
 
 // event kinds for the cycle calendar.
@@ -163,8 +168,24 @@ type Network struct {
 	calendar [][]event
 	maxLat   int
 
-	freelist []*Packet
-	nextID   int64
+	// view is the single RouterView instance handed to every Route call;
+	// reusing it keeps route allocation free of per-flit allocations.
+	view RouterView
+
+	// activeR and activeS are the active worklists: bit r of activeR is
+	// set while router r holds at least one buffered flit, bit i of
+	// activeS while source i has a packet mid-injection or a backlog.
+	// Route, switch and inject scan only set bits (in ascending order, so
+	// behaviour is bit-identical to a full scan), making a cycle's cost
+	// proportional to active state rather than network size. stepAll
+	// disables the worklists (full scans) — the equivalence oracle used by
+	// the worklist property tests.
+	activeR []uint64
+	activeS []uint64
+	stepAll bool
+
+	arena  arena
+	nextID int64
 
 	// Measurement state, managed by the run harnesses.
 	measStart, measEnd int64 // packets injected in [measStart, measEnd) are measured
@@ -283,7 +304,15 @@ func New(g *topo.Graph, alg Algorithm, cfg Config) (*Network, error) {
 		}
 		rt.grants = make([]int16, len(rd.In))
 		rt.reqs = make([][]int32, len(rd.Out))
+		// touched holds at most one entry per occupied input VC.
+		rt.touched = make([]int32, 0, len(rd.In)*vcs)
+		if cfg.AgeArbiter {
+			rt.granted = make([]bool, len(rd.In)*(vcs+1))
+		}
 	}
+	n.view.n = n
+	n.activeR = make([]uint64, (len(g.Routers)+63)/64)
+	n.activeS = make([]uint64, (g.NumNodes+63)/64)
 	n.maxLat = maxLat
 	// The calendar ring must cover the worst-case scheduling horizon: the
 	// channel latency plus router pipeline delay plus the per-channel
@@ -311,24 +340,51 @@ func (n *Network) VCs() int { return n.vcs }
 // VCDepth returns the per-VC buffer depth in flits.
 func (n *Network) VCDepth() int { return n.vcDepth }
 
-// allocPacket takes a packet from the freelist or allocates one.
-func (n *Network) allocPacket() *Packet {
-	if len(n.freelist) > 0 {
-		p := n.freelist[len(n.freelist)-1]
-		n.freelist = n.freelist[:len(n.freelist)-1]
-		p.reset()
-		return p
-	}
-	return &Packet{Inter: -1}
-}
+// allocPacket takes a packet from the arena's freelist or allocates one.
+func (n *Network) allocPacket() *Packet { return n.arena.allocPacket() }
 
-func (n *Network) freePacket(p *Packet) {
-	n.freelist = append(n.freelist, p)
-}
+func (n *Network) freePacket(p *Packet) { n.arena.freePacket(p) }
 
+// schedule enqueues an event delay cycles in the future. Slot growth goes
+// through the arena so backing arrays are recycled across calendar slots
+// and the steady state schedules without allocating.
 func (n *Network) schedule(delay int, ev event) {
 	slot := (n.cycle + int64(delay)) % int64(len(n.calendar))
-	n.calendar[slot] = append(n.calendar[slot], ev)
+	evs := n.calendar[slot]
+	if len(evs) == cap(evs) {
+		evs = n.arena.growEvents(evs)
+	}
+	n.calendar[slot] = append(evs, ev)
+}
+
+// wakeVC marks input VC (ip, vc) occupied and puts the router on the
+// active worklist. Idempotent when the bit is already set.
+func (n *Network) wakeVC(rt *router, ip *inPort, vc int) {
+	if ip.occ&(1<<uint(vc)) != 0 {
+		return
+	}
+	ip.occ |= 1 << uint(vc)
+	if rt.occVCs == 0 {
+		r := uint(rt.id)
+		n.activeR[r>>6] |= 1 << (r & 63)
+	}
+	rt.occVCs++
+}
+
+// clearVC marks input VC (ip, vc) empty, dropping the router from the
+// worklist when it was its last occupied VC. The bit must be set.
+func (n *Network) clearVC(rt *router, ip *inPort, vc int) {
+	ip.occ &^= 1 << uint(vc)
+	rt.occVCs--
+	if rt.occVCs == 0 {
+		r := uint(rt.id)
+		n.activeR[r>>6] &^= 1 << (r & 63)
+	}
+}
+
+// wakeSource puts source i on the injection worklist.
+func (n *Network) wakeSource(i int) {
+	n.activeS[i>>6] |= 1 << (uint(i) & 63)
 }
 
 // Step advances the simulation by one cycle.
@@ -355,13 +411,15 @@ func (n *Network) processEvents() {
 	for _, ev := range evs {
 		switch ev.kind {
 		case evFlit:
-			ip := &n.routers[ev.router].in[ev.port]
+			rt := &n.routers[ev.router]
+			ip := &rt.in[ev.port]
 			ip.vcs[ev.vc].push(flit{pkt: ev.pkt, tail: ev.tail})
-			ip.occ |= 1 << uint(ev.vc)
+			n.wakeVC(rt, ip, int(ev.vc))
 		case evCredit:
 			op := &n.routers[ev.router].out[ev.port]
 			op.credits[ev.vc]++
 			op.pending[ev.vc]--
+			op.pendingSum--
 			if n.checks != nil {
 				n.checks.CreditReturn(topo.RouterID(ev.router), int(ev.port), int(ev.vc), op.credits[ev.vc])
 			}
@@ -394,62 +452,87 @@ func (n *Network) processEvents() {
 
 // inject moves flits from source backlogs into their routers' terminal
 // input buffers, one flit per node per cycle (terminal channel
-// bandwidth). Multi-flit packets stream over PacketSize cycles.
+// bandwidth). Multi-flit packets stream over PacketSize cycles. Only
+// sources on the active worklist (a packet mid-injection or a non-empty
+// backlog) are visited; a source that runs dry leaves the list until the
+// next arrival wakes it.
 func (n *Network) inject() {
-	size := n.cfg.PacketSize
-	for i := range n.sources {
-		s := &n.sources[i]
-		if s.cur == nil {
-			if s.backlogLen() == 0 || s.peekTS() > n.cycle {
-				continue // empty, or the next (trace) arrival is in the future
+	if n.stepAll {
+		for i := range n.sources {
+			n.injectSource(i)
+		}
+		return
+	}
+	for w := range n.activeS {
+		for word := n.activeS[w]; word != 0; word &= word - 1 {
+			b := bits.TrailingZeros64(word)
+			if !n.injectSource(w<<6 + b) {
+				n.activeS[w] &^= 1 << uint(b)
 			}
-			a := s.pop()
-			p := n.allocPacket()
-			p.ID = n.nextID
-			n.nextID++
-			p.Src = s.node
-			if a.hasDst {
-				p.Dst = a.dst
-			} else {
-				p.Dst = s.draw()
-			}
-			p.Phase = PhaseNew
-			p.InjectCycle = a.ts
-			p.NetworkCycle = n.cycle
-			p.Measured = a.ts >= n.measStart && a.ts < n.measEnd
-			s.cur = p
-			s.remaining = size
-			n.injectedTotal++
-			if n.onMaterialize != nil {
-				n.onMaterialize(p)
-			}
-		}
-		r := n.g.NodeRouter[s.node]
-		inPort := n.g.InjPort[s.node]
-		ip := &n.routers[r].in[inPort]
-		q := &ip.vcs[0]
-		if q.full() {
-			continue
-		}
-		s.remaining--
-		tail := s.remaining == 0
-		q.push(flit{pkt: s.cur, tail: tail})
-		ip.occ |= 1
-		n.flitsInjected++
-		if n.tracer != nil {
-			n.tracer.Record(telemetry.FlitEvent{
-				Cycle: n.cycle, Kind: telemetry.EvInject, Packet: s.cur.ID,
-				Src: int(s.cur.Src), Dst: int(s.cur.Dst),
-				Router: int(r), Port: inPort, VC: 0, Tail: tail,
-			})
-		}
-		if n.checks != nil {
-			n.checks.Inject(s.cur, r, inPort, tail)
-		}
-		if tail {
-			s.cur = nil
 		}
 	}
+}
+
+// injectSource advances one source's injection by up to one flit and
+// reports whether the source still has pending work (and so must stay on
+// the worklist).
+func (n *Network) injectSource(i int) bool {
+	s := &n.sources[i]
+	if s.cur == nil {
+		if s.backlogLen() == 0 {
+			return false // empty: drop from the worklist
+		}
+		if s.peekTS() > n.cycle {
+			return true // the next (trace) arrival is in the future
+		}
+		a := s.pop()
+		p := n.allocPacket()
+		p.ID = n.nextID
+		n.nextID++
+		p.Src = s.node
+		if a.hasDst {
+			p.Dst = a.dst
+		} else {
+			p.Dst = s.draw()
+		}
+		p.Phase = PhaseNew
+		p.InjectCycle = a.ts
+		p.NetworkCycle = n.cycle
+		p.Measured = a.ts >= n.measStart && a.ts < n.measEnd
+		s.cur = p
+		s.remaining = n.cfg.PacketSize
+		n.injectedTotal++
+		if n.onMaterialize != nil {
+			n.onMaterialize(p)
+		}
+	}
+	r := n.g.NodeRouter[s.node]
+	inPort := n.g.InjPort[s.node]
+	rt := &n.routers[r]
+	ip := &rt.in[inPort]
+	q := &ip.vcs[0]
+	if q.full() {
+		return true
+	}
+	s.remaining--
+	tail := s.remaining == 0
+	q.push(flit{pkt: s.cur, tail: tail})
+	n.wakeVC(rt, ip, 0)
+	n.flitsInjected++
+	if n.tracer != nil {
+		n.tracer.Record(telemetry.FlitEvent{
+			Cycle: n.cycle, Kind: telemetry.EvInject, Packet: s.cur.ID,
+			Src: int(s.cur.Src), Dst: int(s.cur.Dst),
+			Router: int(r), Port: inPort, VC: 0, Tail: tail,
+		})
+	}
+	if n.checks != nil {
+		n.checks.Inject(s.cur, r, inPort, tail)
+	}
+	if tail {
+		s.cur = nil
+	}
+	return s.cur != nil || s.backlogLen() > 0
 }
 
 // PacketSize returns the configured flits per packet.

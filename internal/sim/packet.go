@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"flatnet/internal/rng"
 	"flatnet/internal/topo"
 )
 
@@ -60,27 +59,6 @@ type OutRef struct {
 	VC   int
 }
 
-// RouterView is the routing algorithm's window onto one router's state
-// during route allocation. Queue estimates follow §3.1: the credit count
-// for output virtual channels, reflecting the occupancy of the input queue
-// on the far end of the channel, plus packets already routed to that
-// output in this router. Under a sequential allocator the estimate also
-// includes reservations made earlier in the same cycle; under a greedy
-// allocator all inputs see the same start-of-cycle snapshot.
-type RouterView interface {
-	// Cycle returns the current simulation cycle.
-	Cycle() int64
-	// Router returns the ID of the router being routed.
-	Router() topo.RouterID
-	// QueueEst returns the queue-length estimate for (port, vc).
-	QueueEst(port, vc int) int
-	// QueueEstPort returns the estimate summed over all VCs of port.
-	QueueEstPort(port int) int
-	// RNG returns this router's deterministic random stream (used for
-	// intermediate-node selection and tie-breaking).
-	RNG() *rng.Source
-}
-
 // Algorithm selects the next hop for each packet. Implementations live in
 // internal/routing; they are constructed per topology instance.
 type Algorithm interface {
@@ -96,6 +74,7 @@ type Algorithm interface {
 	Sequential() bool
 	// Route picks the output port and VC for packet p, currently at the
 	// head of an input buffer of view.Router(). It may mutate the packet's
-	// routing-state fields (Phase, Inter, DimMask).
-	Route(view RouterView, p *Packet) OutRef
+	// routing-state fields (Phase, Inter, DimMask). The view is only valid
+	// for the duration of the call and must not be retained.
+	Route(view *RouterView, p *Packet) OutRef
 }

@@ -11,62 +11,102 @@ import (
 // routeAllocate runs route computation for every un-routed buffer head.
 // Greedy allocation reads start-of-cycle estimates; sequential allocation
 // additionally sees the reservations (delta) of decisions made earlier in
-// the same cycle, in input-port order (§3.1).
+// the same cycle, in input-port order (§3.1). Only routers on the active
+// worklist (holding at least one buffered flit) are visited, in ascending
+// router order — the same order the full scan would use — so idle routers
+// cost no work.
 func (n *Network) routeAllocate() {
-	seq := n.alg.Sequential()
-	for r := range n.routers {
-		rt := &n.routers[r]
-		view := routerView{n: n, rt: rt, seq: seq}
-		for p := range rt.in {
-			ip := &rt.in[p]
-			for occ := ip.occ; occ != 0; occ &= occ - 1 {
-				v := bits.TrailingZeros64(occ)
-				q := &ip.vcs[v]
-				if q.routed {
-					continue
-				}
-				dec := n.alg.Route(view, q.peek().pkt)
-				q.out = dec
-				q.routed = true
-				if n.checks != nil {
-					n.checks.Route(q.peek().pkt, rt.id, dec.Port, dec.VC)
-				}
-				if n.tracer != nil {
-					pkt := q.peek().pkt
-					n.tracer.Record(telemetry.FlitEvent{
-						Cycle: n.cycle, Kind: telemetry.EvRoute, Packet: pkt.ID,
-						Src: int(pkt.Src), Dst: int(pkt.Dst),
-						Router: int(rt.id), Port: dec.Port, VC: dec.VC,
-					})
-				}
-				// Queue estimates are in flits: reserve the whole packet.
-				op := &rt.out[dec.Port]
-				op.delta[dec.VC] += n.cfg.PacketSize
-				rt.touched = append(rt.touched, int32(dec.Port)*int32(n.vcs)+int32(dec.VC))
+	n.view.seq = n.alg.Sequential()
+	if n.stepAll {
+		for r := range n.routers {
+			n.routeRouter(&n.routers[r])
+		}
+	} else {
+		for w := range n.activeR {
+			for word := n.activeR[w]; word != 0; word &= word - 1 {
+				n.routeRouter(&n.routers[w<<6+bits.TrailingZeros64(word)])
 			}
 		}
-		// Fold this cycle's reservations into the stable estimates.
-		for _, t := range rt.touched {
-			port, vc := int(t)/n.vcs, int(t)%n.vcs
-			rt.out[port].pending[vc] += rt.out[port].delta[vc]
-			rt.out[port].delta[vc] = 0
-		}
-		rt.touched = rt.touched[:0]
 	}
+	n.view.rt = nil
 }
 
-// routerView implements RouterView.
-type routerView struct {
+// routeRouter routes every un-routed buffer head of one router.
+func (n *Network) routeRouter(rt *router) {
+	n.view.rt = rt
+	for p := range rt.in {
+		ip := &rt.in[p]
+		for occ := ip.occ; occ != 0; occ &= occ - 1 {
+			v := bits.TrailingZeros64(occ)
+			q := &ip.vcs[v]
+			if q.routed {
+				continue
+			}
+			dec := n.alg.Route(&n.view, q.peek().pkt)
+			q.out = dec
+			q.routed = true
+			if n.checks != nil {
+				n.checks.Route(q.peek().pkt, rt.id, dec.Port, dec.VC)
+			}
+			if n.tracer != nil {
+				pkt := q.peek().pkt
+				n.tracer.Record(telemetry.FlitEvent{
+					Cycle: n.cycle, Kind: telemetry.EvRoute, Packet: pkt.ID,
+					Src: int(pkt.Src), Dst: int(pkt.Dst),
+					Router: int(rt.id), Port: dec.Port, VC: dec.VC,
+				})
+			}
+			// Queue estimates are in flits: reserve the whole packet.
+			op := &rt.out[dec.Port]
+			op.delta[dec.VC] += n.cfg.PacketSize
+			op.deltaSum += n.cfg.PacketSize
+			rt.touched = append(rt.touched, int32(dec.Port)*int32(n.vcs)+int32(dec.VC))
+		}
+	}
+	// Fold this cycle's reservations into the stable estimates.
+	for _, t := range rt.touched {
+		port, vc := int(t)/n.vcs, int(t)%n.vcs
+		op := &rt.out[port]
+		d := op.delta[vc]
+		op.pending[vc] += d
+		op.pendingSum += d
+		op.deltaSum -= d
+		op.delta[vc] = 0
+	}
+	rt.touched = rt.touched[:0]
+}
+
+// RouterView is the routing algorithm's window onto one router's state
+// during route allocation. Queue estimates follow §3.1: the credit count
+// for output virtual channels, reflecting the occupancy of the input queue
+// on the far end of the channel, plus packets already routed to that
+// output in this router. Under a sequential allocator the estimate also
+// includes reservations made earlier in the same cycle; under a greedy
+// allocator all inputs see the same start-of-cycle snapshot.
+//
+// RouterView is a concrete struct (not an interface) so the per-flit Route
+// call performs no interface conversion and its accessors inline — part of
+// the cycle core's zero-allocation contract. One view is embedded in the
+// Network and reused for every Route call; it is only valid for the
+// duration of that call.
+type RouterView struct {
 	n   *Network
 	rt  *router
 	seq bool
 }
 
-func (v routerView) Cycle() int64          { return v.n.cycle }
-func (v routerView) Router() topo.RouterID { return v.rt.id }
-func (v routerView) RNG() *rng.Source      { return v.rt.rng }
+// Cycle returns the current simulation cycle.
+func (v *RouterView) Cycle() int64 { return v.n.cycle }
 
-func (v routerView) QueueEst(port, vc int) int {
+// Router returns the ID of the router being routed.
+func (v *RouterView) Router() topo.RouterID { return v.rt.id }
+
+// RNG returns this router's deterministic random stream (used for
+// intermediate-node selection and tie-breaking).
+func (v *RouterView) RNG() *rng.Source { return v.rt.rng }
+
+// QueueEst returns the queue-length estimate for (port, vc).
+func (v *RouterView) QueueEst(port, vc int) int {
 	op := &v.rt.out[port]
 	if v.seq {
 		return op.pending[vc] + op.delta[vc]
@@ -74,14 +114,12 @@ func (v routerView) QueueEst(port, vc int) int {
 	return op.pending[vc]
 }
 
-func (v routerView) QueueEstPort(port int) int {
+// QueueEstPort returns the estimate summed over all VCs of port. The sums
+// are maintained incrementally, so this is O(1) regardless of VC count.
+func (v *RouterView) QueueEstPort(port int) int {
 	op := &v.rt.out[port]
-	s := 0
-	for vc := range op.pending {
-		s += op.pending[vc]
-		if v.seq {
-			s += op.delta[vc]
-		}
+	if v.seq {
+		return op.pendingSum + op.deltaSum
 	}
-	return s
+	return op.pendingSum
 }

@@ -254,32 +254,40 @@ type BatchResult struct {
 	NormalizedLatency float64
 }
 
+// BatchConfig describes one Fig. 5 batch experiment. Only Pattern and
+// BatchSize are required; the optional hooks mirror RunConfig's.
+type BatchConfig struct {
+	// Pattern generates destinations.
+	Pattern traffic.Pattern
+	// BatchSize is the number of packets every node injects at cycle 0.
+	BatchSize int
+	// MaxCycles bounds the run; 0 picks a default proportional to
+	// BatchSize. Exceeding it is an error (the batch never completed).
+	MaxCycles int
+	// Stop, when non-nil, is polled every few hundred cycles; returning
+	// true aborts the run with an error wrapping ErrStopped.
+	Stop func() bool
+	// Attach, when non-nil, is called with the freshly built network
+	// before the first cycle — the hook for installing instrumentation
+	// such as the internal/check sanitizer.
+	Attach func(n *Network)
+}
+
 // RunBatch executes the Fig. 5 batch experiment.
-func RunBatch(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, batchSize, maxCycles int) (BatchResult, error) {
-	return RunBatchStop(g, alg, cfg, pattern, batchSize, maxCycles, nil)
-}
-
-// RunBatchStop is RunBatch with a Stop hook, polled as in RunConfig.Stop.
-func RunBatchStop(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, batchSize, maxCycles int, stop func() bool) (BatchResult, error) {
-	return RunBatchInstrumented(g, alg, cfg, pattern, batchSize, maxCycles, stop, nil)
-}
-
-// RunBatchInstrumented is RunBatchStop with an attach hook, called with
-// the freshly built network before the first cycle (the RunConfig.Attach
-// analogue for batch experiments).
-func RunBatchInstrumented(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, batchSize, maxCycles int, stop func() bool, attach func(*Network)) (BatchResult, error) {
-	if batchSize < 1 {
+func RunBatch(g *topo.Graph, alg Algorithm, cfg Config, bc BatchConfig) (BatchResult, error) {
+	if bc.BatchSize < 1 {
 		return BatchResult{}, fmt.Errorf("sim: batch size must be >= 1")
 	}
+	maxCycles := bc.MaxCycles
 	if maxCycles <= 0 {
-		maxCycles = 1000 * batchSize
+		maxCycles = 1000 * bc.BatchSize
 	}
 	n, err := New(g, alg, cfg)
 	if err != nil {
 		return BatchResult{}, err
 	}
-	if attach != nil {
-		attach(n)
+	if bc.Attach != nil {
+		bc.Attach(n)
 	}
 	Live.RunsStarted.Add(1)
 	var lp livePoll
@@ -287,9 +295,9 @@ func RunBatchInstrumented(g *topo.Graph, alg Algorithm, cfg Config, pattern traf
 		lp.update(n)
 		Live.RunsFinished.Add(1)
 	}()
-	n.SetPattern(pattern)
-	n.SeedBatch(batchSize)
-	total := int64(batchSize) * int64(n.NumNodes())
+	n.SetPattern(bc.Pattern)
+	n.SeedBatch(bc.BatchSize)
+	total := int64(bc.BatchSize) * int64(n.NumNodes())
 	for {
 		n.Step()
 		_, delivered := n.Totals()
@@ -298,19 +306,37 @@ func RunBatchInstrumented(g *topo.Graph, alg Algorithm, cfg Config, pattern traf
 		}
 		if n.Cycle() >= int64(maxCycles) {
 			return BatchResult{}, fmt.Errorf("sim: batch of %d did not complete within %d cycles (%s)",
-				batchSize, maxCycles, alg.Name())
+				bc.BatchSize, maxCycles, alg.Name())
 		}
 		if n.Cycle()&stopPollMask == 0 {
 			lp.update(n)
-			if stop != nil && stop() {
+			if bc.Stop != nil && bc.Stop() {
 				return BatchResult{}, fmt.Errorf("at cycle %d: %w", n.Cycle(), ErrStopped)
 			}
 		}
 	}
 	res := BatchResult{
-		BatchSize:         batchSize,
+		BatchSize:         bc.BatchSize,
 		CompletionCycles:  n.Cycle(),
-		NormalizedLatency: float64(n.Cycle()) / float64(batchSize),
+		NormalizedLatency: float64(n.Cycle()) / float64(bc.BatchSize),
 	}
 	return res, nil
+}
+
+// RunBatchStop runs a batch experiment with a Stop hook.
+//
+// Deprecated: use RunBatch with BatchConfig.Stop.
+func RunBatchStop(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, batchSize, maxCycles int, stop func() bool) (BatchResult, error) {
+	return RunBatch(g, alg, cfg, BatchConfig{
+		Pattern: pattern, BatchSize: batchSize, MaxCycles: maxCycles, Stop: stop,
+	})
+}
+
+// RunBatchInstrumented runs a batch experiment with Stop and Attach hooks.
+//
+// Deprecated: use RunBatch with BatchConfig.Stop and BatchConfig.Attach.
+func RunBatchInstrumented(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, batchSize, maxCycles int, stop func() bool, attach func(*Network)) (BatchResult, error) {
+	return RunBatch(g, alg, cfg, BatchConfig{
+		Pattern: pattern, BatchSize: batchSize, MaxCycles: maxCycles, Stop: stop, Attach: attach,
+	})
 }

@@ -15,14 +15,20 @@ type minimalAlg struct{ f *core.FlatFly }
 func (a *minimalAlg) Name() string     { return "test-min" }
 func (a *minimalAlg) NumVCs() int      { return 1 }
 func (a *minimalAlg) Sequential() bool { return false }
-func (a *minimalAlg) Route(view RouterView, p *Packet) OutRef {
+func (a *minimalAlg) Route(view *RouterView, p *Packet) OutRef {
 	r := view.Router()
 	dst := a.f.RouterOf(p.Dst)
 	if r == dst {
 		return OutRef{Port: a.f.TerminalIndex(p.Dst), VC: 0}
 	}
-	d := a.f.DiffDims(r, dst)[0]
-	return OutRef{Port: a.f.PortFor(d, a.f.RouterDigit(dst, d), 0), VC: 0}
+	// Lowest differing dimension, computed without allocating (DiffDims
+	// returns a fresh slice, which would fail TestStepZeroAlloc).
+	for d := 1; d <= a.f.Dims; d++ {
+		if a.f.RouterDigit(r, d) != a.f.RouterDigit(dst, d) {
+			return OutRef{Port: a.f.PortFor(d, a.f.RouterDigit(dst, d), 0), VC: 0}
+		}
+	}
+	panic("minimalAlg: r != dst but no differing dimension")
 }
 
 func testFF(t *testing.T, k, n int) *core.FlatFly {
@@ -56,7 +62,7 @@ func TestSinglePacketDelivery(t *testing.T) {
 		got = &cp
 		deliveredAt = cycle
 	})
-	n.sources[0].pushTimestamp(0)
+	n.pushArrival(0, 0)
 	for i := 0; i < 20 && deliveredAt < 0; i++ {
 		n.Step()
 	}
@@ -89,7 +95,7 @@ func TestLocalDelivery(t *testing.T) {
 	n.SetPattern(traffic.NewFixed("local", tab))
 	hops := -1
 	n.OnDeliver(func(p *Packet, _ int64) { hops = p.Hops })
-	n.sources[0].pushTimestamp(0)
+	n.pushArrival(0, 0)
 	for i := 0; i < 10 && hops < 0; i++ {
 		n.Step()
 	}
@@ -247,7 +253,7 @@ func TestMinimalFullThroughputOnUR(t *testing.T) {
 func TestRunBatch(t *testing.T) {
 	f := testFF(t, 4, 2)
 	res, err := RunBatch(f.Graph(), &minimalAlg{f}, DefaultConfig(),
-		traffic.NewUniform(f.NumNodes), 8, 0)
+		BatchConfig{Pattern: traffic.NewUniform(f.NumNodes), BatchSize: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,8 +263,51 @@ func TestRunBatch(t *testing.T) {
 	if res.NormalizedLatency < 1 || res.NormalizedLatency > 20 {
 		t.Fatalf("normalized latency %v out of plausible range", res.NormalizedLatency)
 	}
-	if _, err := RunBatch(f.Graph(), &minimalAlg{f}, DefaultConfig(), traffic.NewUniform(16), 0, 0); err == nil {
+	if _, err := RunBatch(f.Graph(), &minimalAlg{f}, DefaultConfig(),
+		BatchConfig{Pattern: traffic.NewUniform(16)}); err == nil {
 		t.Error("batch size 0 accepted")
+	}
+}
+
+// TestRunBatchDeprecatedWrappers pins the thin positional wrappers kept
+// for incremental migration: they must produce the same result as the
+// BatchConfig form and honor their hooks.
+func TestRunBatchDeprecatedWrappers(t *testing.T) {
+	f := testFF(t, 4, 2)
+	pat := traffic.NewUniform(f.NumNodes)
+	want, err := RunBatch(f.Graph(), &minimalAlg{f}, DefaultConfig(),
+		BatchConfig{Pattern: pat, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunBatchStop(f.Graph(), &minimalAlg{f}, DefaultConfig(), pat, 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("RunBatchStop diverged: %+v vs %+v", got, want)
+	}
+	attached := false
+	got, err = RunBatchInstrumented(f.Graph(), &minimalAlg{f}, DefaultConfig(), pat, 4, 0, nil,
+		func(n *Network) { attached = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("RunBatchInstrumented diverged: %+v vs %+v", got, want)
+	}
+	if !attached {
+		t.Fatal("RunBatchInstrumented did not call the attach hook")
+	}
+	// Stop polling is throttled to every few hundred cycles, so a long
+	// batch is needed for the hook to be consulted at all.
+	stopped := 0
+	if _, err := RunBatchStop(f.Graph(), &minimalAlg{f}, DefaultConfig(), pat, 500, 0,
+		func() bool { stopped++; return true }); err == nil {
+		t.Fatal("stop hook did not abort the run")
+	}
+	if stopped == 0 {
+		t.Fatal("stop hook never polled")
 	}
 }
 
@@ -282,6 +331,34 @@ func TestLoadSweepStopsAfterSaturation(t *testing.T) {
 	}
 	if !res[4].Saturated {
 		t.Fatal("100% load did not saturate on WC minimal routing")
+	}
+}
+
+// TestStepZeroAlloc pins the hot path's zero-allocation contract: once
+// the pools, calendar slots and scratch buffers have been grown during
+// warmup, a steady-state generate+step cycle performs no heap
+// allocations. Any per-cycle allocation (a fresh event node, a scratch
+// map, an escaping view) shows up as an average of >= 1 here.
+func TestStepZeroAlloc(t *testing.T) {
+	f := testFF(t, 4, 2)
+	n, err := New(f.Graph(), &minimalAlg{f}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetPattern(traffic.NewUniform(f.NumNodes))
+	for i := 0; i < 2000; i++ {
+		n.GenerateBernoulli(0.5)
+		n.Step()
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		n.GenerateBernoulli(0.5)
+		n.Step()
+	})
+	// Rare amortized growth (a source backlog high-water mark, a pool
+	// append) may still allocate once in a while; a per-cycle allocation
+	// averages >= 1.
+	if avg >= 0.5 {
+		t.Fatalf("steady-state cycle allocates: %.2f allocs/cycle, want ~0", avg)
 	}
 }
 

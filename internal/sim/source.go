@@ -56,6 +56,13 @@ func (s *source) push(a arrival) {
 
 func (s *source) pushTimestamp(t int64) { s.push(arrival{ts: t}) }
 
+// pushArrival enqueues one pattern arrival at source i and wakes it —
+// the single-packet injection hook the timing tests use.
+func (n *Network) pushArrival(i int, ts int64) {
+	n.sources[i].pushTimestamp(ts)
+	n.wakeSource(i)
+}
+
 func (s *source) pushTraced(t int64, dst topo.NodeID) {
 	s.push(arrival{ts: t, dst: dst, hasDst: true})
 }
@@ -95,6 +102,7 @@ func (n *Network) GenerateBernoulli(load float64) {
 		s := &n.sources[i]
 		if s.rng.Bernoulli(p) {
 			s.pushTimestamp(c)
+			n.wakeSource(i)
 			if c >= n.measStart && c < n.measEnd {
 				n.measCreated++
 			}
@@ -142,6 +150,7 @@ func (n *Network) GenerateOnOff(load, peak, avgBurst float64) error {
 		}
 		if s.burstOn && s.rng.Bernoulli(pkt) {
 			s.pushTimestamp(c)
+			n.wakeSource(i)
 			if c >= n.measStart && c < n.measEnd {
 				n.measCreated++
 			}
@@ -158,6 +167,9 @@ func (n *Network) SeedBatch(perNode int) {
 		s := &n.sources[i]
 		for j := 0; j < perNode; j++ {
 			s.pushTimestamp(c)
+		}
+		if perNode > 0 {
+			n.wakeSource(i)
 		}
 	}
 }

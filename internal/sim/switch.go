@@ -26,100 +26,112 @@ func (n *Network) reqUnpack(key int32) (inport, vc int) {
 // backlog to the downstream buffer size), and cfg.Speedup, when non-zero,
 // caps both the grants per input port and per output port in a cycle.
 func (n *Network) switchAllocate() {
-	speedup := n.cfg.Speedup
-	for r := range n.routers {
-		rt := &n.routers[r]
-		// Collect requests.
-		anyReq := false
-		for p := range rt.in {
-			ip := &rt.in[p]
-			rt.grants[p] = 0
-			for occ := ip.occ; occ != 0; occ &= occ - 1 {
-				v := bits.TrailingZeros64(occ)
-				q := &ip.vcs[v]
-				if !q.routed {
-					continue
-				}
-				op := &rt.out[q.out.Port]
-				if op.credits != nil && op.credits[q.out.VC] <= 0 {
-					if n.probes != nil {
-						n.probes.CreditStalls++
-					}
-					continue // no downstream space: do not bid
-				}
-				if op.credits == nil && op.nextFree-n.cycle >= int64(n.cfg.BufPerPort) {
-					continue // ejection staging queue full
-				}
-				if !q.headSent && op.owner != nil && op.owner[q.out.VC] != nil {
-					if n.probes != nil {
-						n.probes.VCStalls++
-					}
-					continue // downstream VC still owned by another packet
-				}
-				rt.reqs[q.out.Port] = append(rt.reqs[q.out.Port], n.reqKey(p, v))
-				anyReq = true
-			}
+	if n.stepAll {
+		for r := range n.routers {
+			n.switchRouter(&n.routers[r])
 		}
-		if !anyReq {
+		return
+	}
+	for w := range n.activeR {
+		for word := n.activeR[w]; word != 0; word &= word - 1 {
+			n.switchRouter(&n.routers[w<<6+bits.TrailingZeros64(word)])
+		}
+	}
+}
+
+// switchRouter performs one router's switch allocation.
+func (n *Network) switchRouter(rt *router) {
+	speedup := n.cfg.Speedup
+	// Collect requests.
+	anyReq := false
+	for p := range rt.in {
+		ip := &rt.in[p]
+		rt.grants[p] = 0
+		for occ := ip.occ; occ != 0; occ &= occ - 1 {
+			v := bits.TrailingZeros64(occ)
+			q := &ip.vcs[v]
+			if !q.routed {
+				continue
+			}
+			op := &rt.out[q.out.Port]
+			if op.credits != nil && op.credits[q.out.VC] <= 0 {
+				if n.probes != nil {
+					n.probes.CreditStalls++
+				}
+				continue // no downstream space: do not bid
+			}
+			if op.credits == nil && op.nextFree-n.cycle >= int64(n.cfg.BufPerPort) {
+				continue // ejection staging queue full
+			}
+			if !q.headSent && op.owner != nil && op.owner[q.out.VC] != nil {
+				if n.probes != nil {
+					n.probes.VCStalls++
+				}
+				continue // downstream VC still owned by another packet
+			}
+			rt.reqs[q.out.Port] = append(rt.reqs[q.out.Port], n.reqKey(p, v))
+			anyReq = true
+		}
+	}
+	if !anyReq {
+		return
+	}
+	for p := range rt.out {
+		reqs := rt.reqs[p]
+		if len(reqs) == 0 {
 			continue
 		}
-		for p := range rt.out {
-			reqs := rt.reqs[p]
-			if len(reqs) == 0 {
-				continue
-			}
-			op := &rt.out[p]
-			if n.cfg.AgeArbiter {
-				granted := n.grantByAge(rt, op, reqs, speedup)
-				if n.probes != nil {
-					n.probes.Grants += int64(granted)
-					n.probes.Conflicts += int64(len(reqs) - granted)
-				}
-				rt.reqs[p] = reqs[:0]
-				continue
-			}
-			outGrants := 0
-			rr0 := int32(op.rr)
-			// Round-robin: start from the first requester whose key is
-			// strictly greater than the pointer, wrapping; skip
-			// speedup-saturated inputs and (for terminals) a busy channel.
-			for pass := 0; pass < 2; pass++ {
-				for _, key := range reqs {
-					if pass == 0 && key <= rr0 {
-						continue
-					}
-					if pass == 1 && key > rr0 {
-						break
-					}
-					if speedup > 0 && outGrants >= speedup {
-						break
-					}
-					if op.credits == nil && op.nextFree-n.cycle >= int64(n.cfg.BufPerPort) {
-						break // ejection staging queue full
-					}
-					inport, vc := n.reqUnpack(key)
-					if speedup > 0 && int(rt.grants[inport]) >= speedup {
-						continue
-					}
-					q := &rt.in[inport].vcs[vc]
-					if op.credits != nil && op.credits[q.out.VC] <= 0 {
-						continue // credit consumed by an earlier grant this cycle
-					}
-					if !q.headSent && op.owner != nil && op.owner[q.out.VC] != nil {
-						continue // VC acquired by an earlier grant this cycle
-					}
-					op.rr = int(key)
-					rt.grants[inport]++
-					outGrants++
-					n.traverse(rt, inport, vc)
-				}
-			}
+		op := &rt.out[p]
+		if n.cfg.AgeArbiter {
+			granted := n.grantByAge(rt, op, reqs, speedup)
 			if n.probes != nil {
-				n.probes.Grants += int64(outGrants)
-				n.probes.Conflicts += int64(len(reqs) - outGrants)
+				n.probes.Grants += int64(granted)
+				n.probes.Conflicts += int64(len(reqs) - granted)
 			}
 			rt.reqs[p] = reqs[:0]
+			continue
 		}
+		outGrants := 0
+		rr0 := int32(op.rr)
+		// Round-robin: start from the first requester whose key is
+		// strictly greater than the pointer, wrapping; skip
+		// speedup-saturated inputs and (for terminals) a busy channel.
+		for pass := 0; pass < 2; pass++ {
+			for _, key := range reqs {
+				if pass == 0 && key <= rr0 {
+					continue
+				}
+				if pass == 1 && key > rr0 {
+					break
+				}
+				if speedup > 0 && outGrants >= speedup {
+					break
+				}
+				if op.credits == nil && op.nextFree-n.cycle >= int64(n.cfg.BufPerPort) {
+					break // ejection staging queue full
+				}
+				inport, vc := n.reqUnpack(key)
+				if speedup > 0 && int(rt.grants[inport]) >= speedup {
+					continue
+				}
+				q := &rt.in[inport].vcs[vc]
+				if op.credits != nil && op.credits[q.out.VC] <= 0 {
+					continue // credit consumed by an earlier grant this cycle
+				}
+				if !q.headSent && op.owner != nil && op.owner[q.out.VC] != nil {
+					continue // VC acquired by an earlier grant this cycle
+				}
+				op.rr = int(key)
+				rt.grants[inport]++
+				outGrants++
+				n.traverse(rt, inport, vc)
+			}
+		}
+		if n.probes != nil {
+			n.probes.Grants += int64(outGrants)
+			n.probes.Conflicts += int64(len(reqs) - outGrants)
+		}
+		rt.reqs[p] = reqs[:0]
 	}
 }
 
@@ -129,7 +141,14 @@ func (n *Network) switchAllocate() {
 // run out. It returns the number of grants issued.
 func (n *Network) grantByAge(rt *router, op *outPort, reqs []int32, speedup int) int {
 	outGrants := 0
-	granted := make(map[int32]bool, len(reqs))
+	// granted is preallocated per-router scratch indexed by reqKey; it is
+	// cleared below by walking reqs, so no per-cycle map is built.
+	granted := rt.granted
+	defer func() {
+		for _, key := range reqs {
+			granted[key] = false
+		}
+	}()
 	for {
 		if speedup > 0 && outGrants >= speedup {
 			return outGrants
@@ -185,7 +204,7 @@ func (n *Network) traverse(rt *router, inport, vc int) {
 	isHead := !q.headSent
 	f := q.pop()
 	if q.empty() {
-		ip.occ &^= 1 << uint(vc)
+		n.clearVC(rt, ip, vc)
 	}
 	op := &rt.out[dec.Port]
 	if ip.kind == topo.Network {
@@ -241,6 +260,7 @@ func (n *Network) traverse(rt *router, inport, vc int) {
 		n.schedule(delay+n.cfg.RouterDelay, event{kind: evFlit, tail: f.tail, router: int32(op.peer), port: int32(op.peerPort), vc: int32(dec.VC), pkt: f.pkt})
 	case topo.Terminal:
 		op.pending[dec.VC]--
+		op.pendingSum--
 		n.schedule(delay, event{kind: evDeliver, tail: f.tail, router: int32(rt.id), port: int32(dec.Port), pkt: f.pkt})
 	}
 }

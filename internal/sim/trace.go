@@ -31,6 +31,7 @@ func (n *Network) InjectAt(src topo.NodeID, ts int64, dst topo.NodeID) error {
 	}
 	s := &n.sources[src]
 	s.pushTraced(ts, dst)
+	n.wakeSource(int(src))
 	if ts >= n.measStart && ts < n.measEnd {
 		n.measCreated++
 	}

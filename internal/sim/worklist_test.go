@@ -1,0 +1,124 @@
+package sim_test
+
+import (
+	"testing"
+
+	"flatnet/internal/core"
+	"flatnet/internal/routing"
+	"flatnet/internal/sim"
+	"flatnet/internal/traffic"
+)
+
+// delivery is one observed packet delivery, in order.
+type delivery struct {
+	cycle    int64
+	src, dst int
+	inject   int64
+	hops     int
+}
+
+// runScheduler drives one network to quiescence and returns its delivery
+// sequence. stepAll selects the debug full-scan scheduler; false uses the
+// active worklists.
+func runScheduler(t *testing.T, ff *core.FlatFly, algName string, cfg sim.Config, load float64, cycles int, stepAll bool) []delivery {
+	t.Helper()
+	alg, err := routing.NewFlatFlyAlgorithm(algName, ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BufPerPort < alg.NumVCs()*cfg.PacketSize {
+		cfg.BufPerPort = alg.NumVCs() * cfg.PacketSize
+	}
+	n, err := sim.New(ff.Graph(), alg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetStepAll(n, stepAll)
+	n.SetPattern(traffic.NewUniform(n.NumNodes()))
+	var out []delivery
+	n.OnDeliver(func(p *sim.Packet, cycle int64) {
+		out = append(out, delivery{
+			cycle: cycle, src: int(p.Src), dst: int(p.Dst),
+			inject: p.InjectCycle, hops: p.Hops,
+		})
+	})
+	for i := 0; i < cycles; i++ {
+		n.GenerateBernoulli(load)
+		n.Step()
+	}
+	for i := 0; i < 20000 && !n.Quiescent(); i++ {
+		n.Step()
+	}
+	if !n.Quiescent() {
+		t.Fatalf("network failed to drain (alg=%s load=%.2f stepAll=%v)", algName, load, stepAll)
+	}
+	return out
+}
+
+func diffDeliveries(t *testing.T, full, work []delivery, label string) {
+	t.Helper()
+	if len(full) != len(work) {
+		t.Fatalf("%s: delivery counts differ: full-scan %d vs worklist %d", label, len(full), len(work))
+	}
+	for i := range full {
+		if full[i] != work[i] {
+			t.Fatalf("%s: delivery %d differs:\n  full-scan: %+v\n  worklist:  %+v", label, i, full[i], work[i])
+		}
+	}
+}
+
+// TestWorklistMatchesStepAll is the scheduler-equivalence property: the
+// active-worklist scheduler (which skips idle routers and sources) must
+// deliver exactly the same packets, in the same order, at the same
+// cycles, as the full-scan scheduler — across every FB routing algorithm.
+// Skipping may only elide work that provably does nothing.
+func TestWorklistMatchesStepAll(t *testing.T) {
+	ff, err := core.NewFlatFly(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"min", "val", "ugal", "ugal-s", "clos"} {
+		for _, load := range []float64{0.05, 0.4, 0.9} {
+			cfg := sim.DefaultConfig()
+			full := runScheduler(t, ff, alg, cfg, load, 300, true)
+			work := runScheduler(t, ff, alg, cfg, load, 300, false)
+			if len(full) == 0 {
+				t.Fatalf("%s load %.2f delivered nothing", alg, load)
+			}
+			diffDeliveries(t, full, work, alg)
+		}
+	}
+}
+
+// FuzzWorklistEquivalence fuzzes simulator configurations (topology
+// shape, buffering, speedup, packet size, algorithm, load, seed) and
+// requires the worklist and full-scan schedulers to produce identical
+// delivery sequences — the FuzzInvariants harness aimed at scheduler
+// equivalence rather than conservation.
+func FuzzWorklistEquivalence(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(0), uint8(16), uint8(0), uint8(1), uint8(40), uint64(1))
+	f.Add(uint8(2), uint8(3), uint8(2), uint8(8), uint8(1), uint8(4), uint8(80), uint64(2))
+	f.Add(uint8(3), uint8(2), uint8(4), uint8(4), uint8(2), uint8(6), uint8(60), uint64(3))
+	f.Add(uint8(4), uint8(3), uint8(3), uint8(32), uint8(0), uint8(2), uint8(90), uint64(4))
+	f.Fuzz(func(t *testing.T, k, n, algSel, buf, speedup, pktSize, loadPct uint8, seed uint64) {
+		ks := 2 + int(k)%3 // 2..4
+		ns := 2 + int(n)%2 // 2..3
+		ps := 1 + int(pktSize)%6
+		cfg := sim.Config{
+			Seed:       seed,
+			BufPerPort: ps * (1 + int(buf)%4),
+			Speedup:    int(speedup) % 3,
+			PacketSize: ps,
+		}
+		ff, err := core.NewFlatFly(ks, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		algs := []string{"min", "val", "ugal", "ugal-s", "clos"}
+		alg := algs[int(algSel)%len(algs)]
+		load := float64(int(loadPct)%101) / 100
+		full := runScheduler(t, ff, alg, cfg, load, 200, true)
+		work := runScheduler(t, ff, alg, cfg, load, 200, false)
+		diffDeliveries(t, full, work, alg)
+	})
+}

@@ -186,7 +186,10 @@ func (j Job) run(stop func() bool, attach func(*sim.Network)) (Result, error) {
 		}
 		res.Point, err = sim.RunLoadPoint(g, alg, cfg, rc)
 	case ModeBatch:
-		res.Batch, err = sim.RunBatchInstrumented(g, alg, cfg, pat, j.BatchSize, j.MaxCycles, stop, attach)
+		res.Batch, err = sim.RunBatch(g, alg, cfg, sim.BatchConfig{
+			Pattern: pat, BatchSize: j.BatchSize, MaxCycles: j.MaxCycles,
+			Stop: stop, Attach: attach,
+		})
 	default:
 		err = fmt.Errorf("sweep: unknown mode %q", j.Mode)
 	}
