@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck test race check checksweep bench benchall benchguard figs quickfigs fuzz clean
+.PHONY: all build vet fmtcheck test race check checksweep nocd-smoke bench benchall benchguard figs quickfigs fuzz clean
 
 # Tier-1 flow: build, static checks, tests, then the race detector over
 # the whole module — the sweep engine's worker pool must stay race-clean.
@@ -34,6 +34,13 @@ checksweep:
 
 check: build vet fmtcheck test race checksweep
 
+# nocd-smoke builds the real nocd binary, launches it on an ephemeral
+# port, drives open -> batch_estimate -> stats -> close through the
+# nocsvc/client package, and asserts the estimates agree with a direct
+# flatnet.Run of the same configuration.
+nocd-smoke:
+	$(GO) test -run 'TestNocd' -count=1 -v ./cmd/nocd/
+
 # bench refreshes the committed hot-loop baseline (BENCH_baseline.json)
 # after intentional performance changes; CI's bench-guard job holds
 # BenchmarkSimulatorCycles to it (<=10% slower, 0 allocs/op).
@@ -61,6 +68,7 @@ quickfigs:
 fuzz:
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzInvariants -fuzztime=30s ./internal/sim/
+	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/nocsvc/
 
 clean:
 	$(GO) clean ./...

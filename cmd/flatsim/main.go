@@ -20,7 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"flatnet"
 	"flatnet/internal/sim"
@@ -50,6 +53,22 @@ func main() {
 	flag.BoolVar(&o.check, "check", false, "run under the runtime invariant sanitizer (open-loop -load/-sweep/-batch runs)")
 	flag.Parse()
 
+	// First SIGINT/SIGTERM asks the run to stop at the next poll (the
+	// runner returns an error wrapping sim.ErrStopped); a second signal
+	// forces immediate exit.
+	var interrupted atomic.Bool
+	o.stop = interrupted.Load
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		interrupted.Store(true)
+		fmt.Fprintln(os.Stderr, "flatsim: interrupted, stopping (signal again to force)")
+		<-sigs
+		fmt.Fprintln(os.Stderr, "flatsim: forced exit")
+		os.Exit(130)
+	}()
+
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "flatsim:", err)
 		os.Exit(1)
@@ -78,6 +97,7 @@ type runOpts struct {
 	flitTrace string
 	traceCap  int
 	check     bool
+	stop      func() bool // polled cancellation hook (nil = never stop)
 }
 
 // telemetryReg is process-global: the expvar namespace is write-once,
@@ -173,7 +193,7 @@ func run(o runOpts) error {
 	}
 
 	if o.trace != "" {
-		return runTrace(g, alg, cfg, o.trace)
+		return runTrace(g, alg, cfg, o.trace, o.stop)
 	}
 
 	if o.window > 0 {
@@ -195,7 +215,7 @@ func run(o runOpts) error {
 			attach = func(n *flatnet.Network) { san = flatnet.AttachChecker(n, flatnet.CheckConfig{}) }
 		}
 		res, err := sim.RunBatch(g, alg, cfg, sim.BatchConfig{
-			Pattern: p, BatchSize: o.batch, Attach: attach,
+			Pattern: p, BatchSize: o.batch, Attach: attach, Stop: o.stop,
 		})
 		if err != nil {
 			return err
@@ -215,7 +235,7 @@ func run(o runOpts) error {
 	}
 
 	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
-	rc := flatnet.RunConfig{Pattern: p, Warmup: o.warmup, Measure: o.measure}
+	rc := flatnet.RunConfig{Pattern: p, Warmup: o.warmup, Measure: o.measure, Stop: o.stop}
 	checked := func() error { return nil }
 	if o.check {
 		checked = flatnet.ArmCheck(&rc, flatnet.CheckConfig{})
@@ -247,7 +267,7 @@ func run(o runOpts) error {
 func runPoint(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, p flatnet.Pattern, o runOpts) error {
 	rc := flatnet.RunConfig{
 		Load: o.load, Pattern: p, Warmup: o.warmup, Measure: o.measure,
-		Probes: &flatnet.ProbeConfig{},
+		Probes: &flatnet.ProbeConfig{}, Stop: o.stop,
 	}
 	var tracer *flatnet.Tracer
 	if o.flitTrace != "" {
@@ -320,7 +340,7 @@ func writeFlitTrace(path string, t *flatnet.Tracer) error {
 }
 
 // runTrace replays a recorded trace to completion and reports latency.
-func runTrace(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, path string) error {
+func runTrace(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, path string, stop func() bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -345,6 +365,9 @@ func runTrace(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, path 
 	}
 	limit := int64(len(entries))*100 + 10000
 	for delivered < int64(len(entries)) && n.Cycle() < limit {
+		if stop != nil && n.Cycle()&0xff == 0 && stop() {
+			return fmt.Errorf("trace replay at cycle %d: %w", n.Cycle(), sim.ErrStopped)
+		}
 		n.Step()
 	}
 	if delivered < int64(len(entries)) {

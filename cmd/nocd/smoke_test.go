@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"flatnet"
+	"flatnet/nocsvc/client"
+)
+
+// buildNocd compiles the real binary into the test's temp dir.
+func buildNocd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "nocd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestNocdSmoke is the end-to-end exercise behind `make nocd-smoke`: it
+// launches the daemon on an ephemeral TCP port, drives
+// open -> batch_estimate -> stats -> close through the client package,
+// checks the estimates against a direct flatnet.Run of the same
+// configuration, and shuts the daemon down with SIGINT expecting a
+// clean exit.
+func TestNocdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the real binary")
+	}
+	bin := buildNocd(t)
+
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-max-sessions", "8")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // no-op after the clean Wait below
+
+	// The daemon announces its bound address on stderr.
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never announced its address: %v", sc.Err())
+	}
+	go io.Copy(io.Discard, stderr) //nolint:errcheck // drain shutdown chatter
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const k, n, load = 4, 2, 0.05
+	sess, err := c.OpenSession(client.OpenParams{
+		Topology: "flatfly", K: k, N: n, Routing: "min", Load: load,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := sess.Info().Nodes
+
+	// A spread of uniform single-flit transfers through the service...
+	var items []client.EstimateParams
+	for i := 0; len(items) < 512; i++ {
+		src := (i * 5) % nodes
+		dst := (i*11 + 3) % nodes
+		if src == dst {
+			continue
+		}
+		items = append(items, client.EstimateParams{Src: src, Dst: dst, Bytes: 8})
+	}
+	results, err := sess.BatchEstimate(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, r := range results {
+		if r.Saturated || r.Cycles <= 0 {
+			t.Fatalf("item %d: unusable estimate %+v", i, r)
+		}
+		sum += float64(r.Cycles)
+	}
+	svcAvg := sum / float64(len(results))
+
+	// ...must agree with a direct library run of the same network at the
+	// same load. Both average uniform single-flit latencies far from
+	// saturation, so they match to within a couple of cycles.
+	ff, err := flatnet.NewFlatFly(k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := flatnet.Run(ff, flatnet.NewMinAD(ff), flatnet.WithLoad(load))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(svcAvg - direct.AvgLatency); diff > 2.0 {
+		t.Fatalf("service avg %.2f vs direct flatnet.Run %.2f: |diff| %.2f > 2 cycles",
+			svcAvg, direct.AvgLatency, diff)
+	}
+
+	st, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.Estimates != int64(len(items)) {
+		t.Fatalf("server counted %d estimates, want %d", st.Server.Estimates, len(items))
+	}
+	if st.Session == nil || st.Session.Estimates != int64(len(items)) {
+		t.Fatalf("session detail missing or wrong: %+v", st.Session)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGINT: the daemon closes sessions and exits zero.
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("daemon exited nonzero after SIGINT: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGINT")
+	}
+}
+
+// stdioPipe adapts a child process's stdout/stdin into one ReadWriter
+// for the client.
+type stdioPipe struct {
+	io.Reader
+	io.Writer
+}
+
+// TestNocdStdioMode drives the child-process mode: protocol over
+// stdin/stdout, clean exit on EOF.
+func TestNocdStdioMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the real binary")
+	}
+	bin := buildNocd(t)
+	cmd := exec.Command(bin, "-stdio")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck
+
+	c := client.NewClient(stdioPipe{Reader: stdout, Writer: stdin})
+	sess, err := c.OpenSession(client.OpenParams{Topology: "flatfly", K: 2, N: 2, Warmup: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Estimate(0, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("stdio estimate: %+v", res)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// EOF on stdin ends the child cleanly.
+	stdin.Close()
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("stdio daemon exited nonzero on EOF: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stdio daemon did not exit on EOF")
+	}
+}

@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"flatnet/internal/sim"
@@ -97,7 +99,24 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	if err := run(context.Background(), cfg, out, os.Stderr); err != nil {
+
+	// First SIGINT/SIGTERM cancels the grid — in-flight jobs stop at
+	// their next poll and the JSONL result cache flushes what completed;
+	// a second signal forces immediate exit.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "sweep: interrupted, flushing cache (signal again to force)")
+		cancel()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "sweep: forced exit")
+		os.Exit(130)
+	}()
+
+	if err := run(ctx, cfg, out, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}

@@ -153,6 +153,10 @@ type (
 	TraceEntry = sim.TraceEntry
 	// ChannelLoad reports per-channel traffic for utilization analysis.
 	ChannelLoad = sim.ChannelLoad
+	// Transfer tracks one measured multi-packet transfer injected into a
+	// live network via Network.StartTransfer — the primitive behind the
+	// nocd co-simulation service (internal/nocsvc).
+	Transfer = sim.Transfer
 )
 
 // Simulator entry points.

@@ -1,0 +1,141 @@
+package nocsvc
+
+import (
+	"flatnet/internal/core"
+	"flatnet/internal/routing"
+	"flatnet/internal/sim"
+	"flatnet/internal/topo"
+)
+
+// Session parameter defaults, applied by normalize.
+const (
+	defaultBufPerPort = 32
+	defaultPacketSize = 1
+	defaultFlitBytes  = 8
+	defaultWarmup     = 1000
+)
+
+// normalize fills an OpenParams' defaulted fields in place.
+func (p *OpenParams) normalize() {
+	if p.BufPerPort == 0 {
+		p.BufPerPort = defaultBufPerPort
+	}
+	if p.PacketSize == 0 {
+		p.PacketSize = defaultPacketSize
+	}
+	if p.FlitBytes == 0 {
+		p.FlitBytes = defaultFlitBytes
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	switch {
+	case p.Warmup == 0:
+		p.Warmup = defaultWarmup
+	case p.Warmup < 0:
+		p.Warmup = 0
+	}
+}
+
+// buildNetwork materializes a session's channel graph, routing algorithm
+// and simulator configuration from normalized OpenParams. maxNodes is
+// the server's admission-control cap on topology size; 0 means no cap.
+func buildNetwork(p OpenParams, maxNodes int) (*topo.Graph, sim.Algorithm, sim.Config, *Error) {
+	var (
+		g   *topo.Graph
+		alg sim.Algorithm
+	)
+	switch p.Topology {
+	case "flatfly":
+		f, err := core.NewFlatFly(p.K, p.N)
+		if err != nil {
+			return nil, nil, sim.Config{}, errf(CodeBadRequest, "open: %v", err)
+		}
+		r := p.Routing
+		if r == "" {
+			r = "min"
+		}
+		alg, err = routing.NewFlatFlyAlgorithm(r, f)
+		if err != nil {
+			return nil, nil, sim.Config{}, errf(CodeBadRequest, "open: %v", err)
+		}
+		g = f.Graph()
+	case "butterfly":
+		b, err := topo.NewButterfly(p.K, p.N)
+		if err != nil {
+			return nil, nil, sim.Config{}, errf(CodeBadRequest, "open: %v", err)
+		}
+		if p.Routing != "" && p.Routing != "destination" {
+			return nil, nil, sim.Config{}, errf(CodeBadRequest,
+				"open: butterfly supports routing \"destination\", not %q", p.Routing)
+		}
+		alg = routing.NewButterflyDest(b)
+		g = b.Graph()
+	case "foldedclos":
+		// The §3.3 equal-bisection convention: 2:1 tapered, K terminals
+		// per leaf, K^N total terminals (mirrors cmd/flatsim's -taper 2).
+		fc, err := topo.TaperedClosForNodes(pow(p.K, p.N), 2*p.K)
+		if err != nil {
+			return nil, nil, sim.Config{}, errf(CodeBadRequest, "open: %v", err)
+		}
+		if p.Routing != "" && p.Routing != "adaptive sequential" {
+			return nil, nil, sim.Config{}, errf(CodeBadRequest,
+				"open: foldedclos supports routing \"adaptive sequential\", not %q", p.Routing)
+		}
+		alg = routing.NewFoldedClosAdaptive(fc)
+		g = fc.Graph()
+	case "hypercube":
+		h, err := topo.NewHypercube(p.N)
+		if err != nil {
+			return nil, nil, sim.Config{}, errf(CodeBadRequest, "open: %v", err)
+		}
+		if p.Routing != "" && p.Routing != "e-cube" {
+			return nil, nil, sim.Config{}, errf(CodeBadRequest,
+				"open: hypercube supports routing \"e-cube\", not %q", p.Routing)
+		}
+		alg = routing.NewECube(h)
+		g = h.Graph()
+	default:
+		return nil, nil, sim.Config{}, errf(CodeBadRequest, "open: unknown topology %q", p.Topology)
+	}
+	if maxNodes > 0 && g.NumNodes > maxNodes {
+		return nil, nil, sim.Config{}, errf(CodeBadRequest,
+			"open: topology has %d terminals, above the server cap of %d", g.NumNodes, maxNodes)
+	}
+	cfg := sim.Config{
+		Seed:       p.Seed,
+		BufPerPort: p.BufPerPort,
+		PacketSize: p.PacketSize,
+	}
+	return g, alg, cfg, nil
+}
+
+// pow returns k^n without overflow surprises for protocol-bounded
+// inputs (k <= 1024, n <= 20): it saturates at a value any maxNodes cap
+// rejects.
+func pow(k, n int) int {
+	const lim = 1 << 30
+	v := 1
+	for i := 0; i < n; i++ {
+		v *= k
+		if v <= 0 || v > lim {
+			return lim
+		}
+	}
+	return v
+}
+
+// packetsFor converts a transfer size in bytes into whole packets given
+// the session's flit geometry. A zero-byte transfer still occupies one
+// packet (the message exists even if its payload is empty).
+func packetsFor(bytes, flitBytes, packetSize int) int {
+	flits := (bytes + flitBytes - 1) / flitBytes
+	if flits < 1 {
+		flits = 1
+	}
+	packets := (flits + packetSize - 1) / packetSize
+	if packets < 1 {
+		packets = 1
+	}
+	return packets
+}

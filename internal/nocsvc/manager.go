@@ -1,0 +1,209 @@
+package nocsvc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// manager owns session lifecycle: admission control against the session
+// cap, the id → session table, and idle eviction.
+type manager struct {
+	cfg ServerConfig
+
+	// slots is the admission semaphore: one token held per live session
+	// (and per open in flight), capacity MaxSessions.
+	slots chan struct{}
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int64
+	closed   bool
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+
+	opens     atomic.Int64
+	rejects   atomic.Int64
+	evictions atomic.Int64
+	peak      atomic.Int64
+}
+
+func newManager(cfg ServerConfig) *manager {
+	m := &manager{
+		cfg:         cfg,
+		slots:       make(chan struct{}, cfg.MaxSessions),
+		sessions:    make(map[string]*session),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go m.janitor()
+	return m
+}
+
+// open admits, builds and warms a new session. Admission control: when
+// the daemon is at its session cap, the open waits up to OpenWait for a
+// slot to free (a bounded queue of opens), then rejects with
+// CodeSessionLimit.
+func (m *manager) open(p OpenParams) (*session, *Error) {
+	select {
+	case m.slots <- struct{}{}:
+	default:
+		if m.cfg.OpenWait <= 0 {
+			m.rejects.Add(1)
+			return nil, errf(CodeSessionLimit,
+				"at the session cap of %d", m.cfg.MaxSessions)
+		}
+		t := time.NewTimer(m.cfg.OpenWait)
+		select {
+		case m.slots <- struct{}{}:
+			t.Stop()
+		case <-t.C:
+			m.rejects.Add(1)
+			return nil, errf(CodeSessionLimit,
+				"at the session cap of %d (waited %v)", m.cfg.MaxSessions, m.cfg.OpenWait)
+		}
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		<-m.slots
+		return nil, errf(CodeShutdown, "server shutting down")
+	}
+	m.nextID++
+	id := fmt.Sprintf("s%d", m.nextID)
+	m.mu.Unlock()
+
+	// Build and warm outside the table lock: opens of large networks must
+	// not block estimates on other sessions.
+	s, perr := newSession(id, p, m.cfg.MaxNodes, m.cfg.MaxInflight, int64(m.cfg.EstimateBudget))
+	if perr != nil {
+		<-m.slots
+		return nil, perr
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		s.close()
+		<-m.slots
+		return nil, errf(CodeShutdown, "server shutting down")
+	}
+	m.sessions[id] = s
+	if n := int64(len(m.sessions)); n > m.peak.Load() {
+		m.peak.Store(n)
+	}
+	m.mu.Unlock()
+	m.opens.Add(1)
+	return s, nil
+}
+
+// lookup resolves a session id.
+func (m *manager) lookup(id string) (*session, *Error) {
+	m.mu.Lock()
+	s := m.sessions[id]
+	m.mu.Unlock()
+	if s == nil {
+		return nil, errf(CodeNoSession, "no session %q", id)
+	}
+	return s, nil
+}
+
+// close removes and shuts down one session, releasing its slot.
+func (m *manager) close(id string) *Error {
+	m.mu.Lock()
+	s := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if s == nil {
+		return errf(CodeNoSession, "no session %q", id)
+	}
+	s.close()
+	<-m.slots
+	return nil
+}
+
+// closeAll shuts every session down and stops the janitor; further opens
+// fail with CodeShutdown.
+func (m *manager) closeAll() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	victims := make([]*session, 0, len(m.sessions))
+	for id, s := range m.sessions {
+		victims = append(victims, s)
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	close(m.janitorStop)
+	for _, s := range victims {
+		s.close()
+		<-m.slots
+	}
+	<-m.janitorDone
+}
+
+// janitor evicts sessions idle past IdleTimeout, scanning at a quarter
+// of the timeout.
+func (m *manager) janitor() {
+	defer close(m.janitorDone)
+	if m.cfg.IdleTimeout <= 0 {
+		<-m.janitorStop
+		return
+	}
+	period := m.cfg.IdleTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case now := <-tick.C:
+			var idle []string
+			m.mu.Lock()
+			for id, s := range m.sessions {
+				if s.idleFor(now) > m.cfg.IdleTimeout {
+					idle = append(idle, id)
+				}
+			}
+			m.mu.Unlock()
+			for _, id := range idle {
+				if m.close(id) == nil {
+					m.evictions.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// count returns the live session count.
+func (m *manager) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// snapshot lists every live session's stats, ordered by id for stable
+// output.
+func (m *manager) snapshot(now time.Time) []SessionStats {
+	m.mu.Lock()
+	all := make([]*session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		all = append(all, s)
+	}
+	m.mu.Unlock()
+	out := make([]SessionStats, 0, len(all))
+	for _, s := range all {
+		out = append(out, s.stats(now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

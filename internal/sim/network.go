@@ -193,6 +193,11 @@ type Network struct {
 	onDeliver          func(p *Packet, cycle int64)
 	onMaterialize      func(p *Packet)
 
+	// xfers maps in-flight transfer packets (StartTransfer) to their
+	// handles; nil until the first transfer, so ordinary runs pay one nil
+	// check per materialization and delivery.
+	xfers map[*Packet]*Transfer
+
 	// Telemetry and sanitizer hooks; nil (the default) means every
 	// pipeline hook is a single pointer check — the zero-overhead-when-off
 	// contract that BenchmarkTelemetryOff and BenchmarkChecksOff guard.
@@ -442,6 +447,9 @@ func (n *Network) processEvents() {
 			if ev.pkt.Measured {
 				n.measDelivered++
 			}
+			if n.xfers != nil {
+				n.completeTransfer(ev.pkt)
+			}
 			if n.onDeliver != nil {
 				n.onDeliver(ev.pkt, n.cycle)
 			}
@@ -502,6 +510,9 @@ func (n *Network) injectSource(i int) bool {
 		s.cur = p
 		s.remaining = n.cfg.PacketSize
 		n.injectedTotal++
+		if a.xfer != nil {
+			n.registerTransfer(p, a.xfer)
+		}
 		if n.onMaterialize != nil {
 			n.onMaterialize(p)
 		}

@@ -35,11 +35,13 @@ type source struct {
 
 // arrival is one generated-but-not-yet-materialized packet. Pattern-based
 // arrivals draw their destination at materialization time; trace-based
-// arrivals carry it explicitly.
+// arrivals carry it explicitly. Transfer arrivals (StartTransfer)
+// additionally carry the handle their delivery is credited to.
 type arrival struct {
 	ts     int64
 	dst    topo.NodeID
 	hasDst bool
+	xfer   *Transfer
 }
 
 func (s *source) backlogLen() int { return len(s.q) - s.head }
