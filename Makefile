@@ -41,9 +41,10 @@ check: build vet fmtcheck test race checksweep
 nocd-smoke:
 	$(GO) test -run 'TestNocd' -count=1 -v ./cmd/nocd/
 
-# bench refreshes the committed hot-loop baseline (BENCH_baseline.json)
+# bench refreshes the committed hot-loop baselines (BENCH_baseline.json)
 # after intentional performance changes; CI's bench-guard job holds
-# BenchmarkSimulatorCycles to it (<=10% slower, 0 allocs/op).
+# BenchmarkSimulatorCycles and BenchmarkSimulatorCyclesParallel to them
+# (<=10% slower, 0 allocs/op each).
 bench:
 	$(GO) run ./cmd/benchguard -update
 
@@ -68,6 +69,7 @@ quickfigs:
 fuzz:
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzInvariants -fuzztime=30s ./internal/sim/
+	$(GO) test -fuzz=FuzzShardEquivalence -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/nocsvc/
 
 clean:

@@ -51,6 +51,7 @@ func main() {
 	flag.StringVar(&o.flitTrace, "flittrace", "", "write a flit event trace of an open-loop run to this file (.jsonl for JSON lines, anything else for Chrome trace JSON)")
 	flag.IntVar(&o.traceCap, "tracecap", 1<<16, "flit tracer ring capacity in events (oldest evicted when full)")
 	flag.BoolVar(&o.check, "check", false, "run under the runtime invariant sanitizer (open-loop -load/-sweep/-batch runs)")
+	flag.IntVar(&o.workers, "workers", 1, "cycle-core worker goroutines (results are bit-identical at any count; >1 disables probe reporting)")
 	flag.Parse()
 
 	// First SIGINT/SIGTERM asks the run to stop at the next poll (the
@@ -97,6 +98,7 @@ type runOpts struct {
 	flitTrace string
 	traceCap  int
 	check     bool
+	workers   int
 	stop      func() bool // polled cancellation hook (nil = never stop)
 }
 
@@ -191,6 +193,9 @@ func run(o runOpts) error {
 	if o.check && (o.trace != "" || o.window > 0) {
 		return fmt.Errorf("-check applies to open-loop runs (-load, -sweep, -batch)")
 	}
+	if o.workers > 1 && (o.check || o.flitTrace != "" || o.trace != "" || o.window > 0) {
+		return fmt.Errorf("-workers > 1 applies to uninstrumented open-loop runs (-load, -sweep, -batch without -check/-flittrace)")
+	}
 
 	if o.trace != "" {
 		return runTrace(g, alg, cfg, o.trace, o.stop)
@@ -216,6 +221,7 @@ func run(o runOpts) error {
 		}
 		res, err := sim.RunBatch(g, alg, cfg, sim.BatchConfig{
 			Pattern: p, BatchSize: o.batch, Attach: attach, Stop: o.stop,
+			Workers: o.workers,
 		})
 		if err != nil {
 			return err
@@ -235,7 +241,7 @@ func run(o runOpts) error {
 	}
 
 	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
-	rc := flatnet.RunConfig{Pattern: p, Warmup: o.warmup, Measure: o.measure, Stop: o.stop}
+	rc := flatnet.RunConfig{Pattern: p, Warmup: o.warmup, Measure: o.measure, Stop: o.stop, Workers: o.workers}
 	checked := func() error { return nil }
 	if o.check {
 		checked = flatnet.ArmCheck(&rc, flatnet.CheckConfig{})
@@ -267,7 +273,7 @@ func run(o runOpts) error {
 func runPoint(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, p flatnet.Pattern, o runOpts) error {
 	rc := flatnet.RunConfig{
 		Load: o.load, Pattern: p, Warmup: o.warmup, Measure: o.measure,
-		Probes: &flatnet.ProbeConfig{}, Stop: o.stop,
+		Stop: o.stop, Workers: o.workers,
 	}
 	var tracer *flatnet.Tracer
 	if o.flitTrace != "" {
@@ -276,9 +282,14 @@ func runPoint(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, p fla
 	}
 	var top []flatnet.ProbeChannel
 	var probes *flatnet.Probes
-	rc.Observe = func(n *flatnet.Network) {
-		probes = n.Probes()
-		top = probes.TopChannels(5)
+	if o.workers <= 1 {
+		// Probes force the sequential scheduler, so a parallel run skips
+		// them (and the pipeline/top-channel report they feed).
+		rc.Probes = &flatnet.ProbeConfig{}
+		rc.Observe = func(n *flatnet.Network) {
+			probes = n.Probes()
+			top = probes.TopChannels(5)
+		}
 	}
 	checked := func() error { return nil }
 	if o.check {

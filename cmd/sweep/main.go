@@ -50,6 +50,7 @@ type cliConfig struct {
 	buf        int
 	sat        bool
 	workers    int
+	simWorkers int
 	cachePath  string
 	jobTimeout time.Duration
 	listen     string
@@ -74,6 +75,7 @@ func main() {
 	flag.IntVar(&cfg.buf, "buf", 32, "flit buffering per input port")
 	flag.BoolVar(&cfg.sat, "sat", true, "measure saturation throughput per series")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.simWorkers, "simworkers", 1, "cycle-core worker goroutines inside each simulation (results are bit-identical at any count; excluded from cache hashes)")
 	flag.StringVar(&cfg.cachePath, "cache", "", "JSON-lines result cache file ('' disables caching)")
 	flag.DurationVar(&cfg.jobTimeout, "timeout", 0, "per-job wall-clock budget (0 = none)")
 	flag.StringVar(&cfg.listen, "listen", "", "serve live metrics (/debug/vars, /debug/pprof) on this address during the run")
@@ -165,6 +167,7 @@ func run(ctx context.Context, cfg cliConfig, out, progress io.Writer) error {
 					Alg: alg, Pattern: pat,
 					Warmup: cfg.warmup, Measure: cfg.measure, MaxCycles: cfg.maxCycles,
 					Seed: cfg.seed, BufPerPort: cfg.buf,
+					Workers: cfg.simWorkers,
 				},
 				Loads:      cfg.loads,
 				Saturation: cfg.sat,

@@ -78,7 +78,7 @@ func (m *manager) open(p OpenParams) (*session, *Error) {
 
 	// Build and warm outside the table lock: opens of large networks must
 	// not block estimates on other sessions.
-	s, perr := newSession(id, p, m.cfg.MaxNodes, m.cfg.MaxInflight, int64(m.cfg.EstimateBudget))
+	s, perr := newSession(id, p, m.cfg.MaxNodes, m.cfg.MaxInflight, int64(m.cfg.EstimateBudget), m.cfg.DefaultWorkers)
 	if perr != nil {
 		<-m.slots
 		return nil, perr

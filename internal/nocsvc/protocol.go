@@ -138,6 +138,11 @@ type OpenParams struct {
 	// session serves its first estimate (default 1000; 0 uses the
 	// default, -1 disables warm-up).
 	Warmup int `json:"warmup,omitempty"`
+	// Workers partitions the session's cycle core across this many
+	// worker goroutines (0 uses the daemon's default; 1 forces the
+	// sequential scheduler). Estimates are bit-identical at every worker
+	// count — workers change wall-clock speed only.
+	Workers int `json:"workers,omitempty"`
 }
 
 // EstimateParams is one transfer to estimate: Bytes payload bytes from
@@ -318,6 +323,9 @@ func (p *OpenParams) validate() *Error {
 	}
 	if p.Warmup < -1 || p.Warmup > MaxWarmup {
 		return errf(CodeBadRequest, "open: warmup %d out of [-1,%d]", p.Warmup, MaxWarmup)
+	}
+	if p.Workers < 0 || p.Workers > 256 {
+		return errf(CodeBadRequest, "open: workers %d out of [0,256]", p.Workers)
 	}
 	return nil
 }

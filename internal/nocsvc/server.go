@@ -33,6 +33,11 @@ type ServerConfig struct {
 	// MaxNodes rejects open_session topologies larger than this many
 	// terminals (default 4096; negative disables).
 	MaxNodes int
+	// DefaultWorkers is the cycle-core worker count for sessions whose
+	// open_session did not name one (default 1: sequential). Sessions
+	// are bit-identical at every worker count, so this only changes
+	// wall-clock speed.
+	DefaultWorkers int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -50,6 +55,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.MaxNodes == 0 {
 		c.MaxNodes = 4096
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = 1
 	}
 	return c
 }

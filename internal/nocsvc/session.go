@@ -17,8 +17,14 @@ type SessionStats struct {
 	Algorithm string  `json:"algorithm"`
 	Nodes     int     `json:"nodes"`
 	Load      float64 `json:"load"`
+	// Workers is the cycle-core worker count the session runs with.
+	Workers int `json:"workers"`
 	// Cycles is how far the session's network has advanced.
 	Cycles int64 `json:"cycles"`
+	// CyclesPerSec is the session's simulation rate: cycles advanced per
+	// second of wall-clock time the worker spent simulating (warm-up and
+	// estimates; idle time excluded). 0 until the first cycle completes.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
 	// Estimates counts transfers estimated so far (batch items included).
 	Estimates int64 `json:"estimates"`
 	// QueueDepth is the current inflight command queue length.
@@ -53,19 +59,22 @@ type session struct {
 	done   chan struct{} // closed when the worker exits
 
 	// Owned by the worker goroutine.
-	net    *sim.Network
-	budget int64 // per-estimate cycle budget
+	net     *sim.Network
+	budget  int64 // per-estimate cycle budget
+	workers int   // effective cycle-core worker count
 
 	// Published for stats; written by the worker / submit path.
 	cycles    atomic.Int64
 	estimates atomic.Int64
+	busyNS    atomic.Int64 // wall-clock nanoseconds spent simulating
 	lastUsed  atomic.Int64 // unix nanoseconds
 }
 
 // newSession builds the session's network and starts its worker; it
 // returns once the network is warmed (or building fails). p must be
-// validated and normalized.
-func newSession(id string, p OpenParams, maxNodes, maxInflight int, budget int64) (*session, *Error) {
+// validated and normalized. defaultWorkers is the server's cycle-core
+// worker count for sessions whose open did not name one.
+func newSession(id string, p OpenParams, maxNodes, maxInflight int, budget int64, defaultWorkers int) (*session, *Error) {
 	g, alg, cfg, perr := buildNetwork(p, maxNodes)
 	if perr != nil {
 		return nil, perr
@@ -74,15 +83,28 @@ func newSession(id string, p OpenParams, maxNodes, maxInflight int, budget int64
 	if err != nil {
 		return nil, errf(CodeBadRequest, "open: %v", err)
 	}
+	workers := p.Workers
+	if workers == 0 {
+		workers = defaultWorkers
+	}
+	if workers > 1 {
+		if err := n.SetWorkers(workers); err != nil {
+			n.Close()
+			return nil, errf(CodeBadRequest, "open: %v", err)
+		}
+	} else {
+		workers = 1
+	}
 	n.SetPattern(traffic.NewUniform(g.NumNodes))
 	s := &session{
-		id:     id,
-		p:      p,
-		net:    n,
-		budget: budget,
-		cmds:   make(chan *cmd, maxInflight),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		id:      id,
+		p:       p,
+		net:     n,
+		budget:  budget,
+		workers: workers,
+		cmds:    make(chan *cmd, maxInflight),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	s.info = SessionInfo{
 		Nodes:      g.NumNodes,
@@ -151,15 +173,19 @@ func (s *session) stopped() bool {
 	}
 }
 
-// run is the session worker: the only goroutine that touches s.net.
+// run is the session worker: the only goroutine that touches s.net. It
+// releases the network's scheduler workers when it exits.
 func (s *session) run() {
 	defer close(s.done)
+	defer s.net.Close()
 	for c := range s.cmds {
 		if s.stopped() {
 			c.respond(nil, errf(CodeShutdown, "session %s shutting down", s.id))
 			continue
 		}
+		start := time.Now()
 		results, perr := s.handle(c)
+		s.busyNS.Add(time.Since(start).Nanoseconds())
 		s.cycles.Store(s.net.Cycle())
 		c.respond(results, perr)
 	}
@@ -169,9 +195,11 @@ func (s *session) run() {
 // background load, leaving queues in steady state before the first
 // estimate.
 func (s *session) warm() {
+	start := time.Now()
 	for i := 0; i < s.p.Warmup; i++ {
 		s.advance()
 	}
+	s.busyNS.Add(time.Since(start).Nanoseconds())
 	s.cycles.Store(s.net.Cycle())
 }
 
@@ -234,15 +262,22 @@ func (s *session) estimate(e EstimateParams) (EstimateResult, *Error) {
 
 // stats snapshots the session for the stats verb.
 func (s *session) stats(now time.Time) SessionStats {
+	cycles := s.cycles.Load()
+	var rate float64
+	if busy := s.busyNS.Load(); busy > 0 && cycles > 0 {
+		rate = float64(cycles) / (float64(busy) / 1e9)
+	}
 	return SessionStats{
-		ID:         s.id,
-		Topology:   s.p.Topology,
-		Algorithm:  s.info.Algorithm,
-		Nodes:      s.info.Nodes,
-		Load:       s.p.Load,
-		Cycles:     s.cycles.Load(),
-		Estimates:  s.estimates.Load(),
-		QueueDepth: len(s.cmds),
-		IdleMS:     s.idleFor(now).Milliseconds(),
+		ID:           s.id,
+		Topology:     s.p.Topology,
+		Algorithm:    s.info.Algorithm,
+		Nodes:        s.info.Nodes,
+		Load:         s.p.Load,
+		Workers:      s.workers,
+		Cycles:       cycles,
+		CyclesPerSec: rate,
+		Estimates:    s.estimates.Load(),
+		QueueDepth:   len(s.cmds),
+		IdleMS:       s.idleFor(now).Milliseconds(),
 	}
 }

@@ -26,7 +26,7 @@ func testCfg() ServerConfig {
 
 func TestSessionBackpressure(t *testing.T) {
 	const inflight = 3
-	s, perr := newSession("t1", testOpen(), 4096, inflight, 1<<16)
+	s, perr := newSession("t1", testOpen(), 4096, inflight, 1<<16, 1)
 	if perr != nil {
 		t.Fatal(perr)
 	}
@@ -219,7 +219,7 @@ func TestManagerClosedRejectsOpens(t *testing.T) {
 }
 
 func TestSessionEstimateValidation(t *testing.T) {
-	s, perr := newSession("t2", testOpen(), 4096, 4, 1<<16)
+	s, perr := newSession("t2", testOpen(), 4096, 4, 1<<16, 1)
 	if perr != nil {
 		t.Fatal(perr)
 	}

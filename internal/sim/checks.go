@@ -43,11 +43,17 @@ type CheckHooks struct {
 }
 
 // AttachChecks installs a sanitizer hook set into the pipeline; nil
-// callbacks are replaced with no-ops. Passing nil detaches.
+// callbacks are replaced with no-ops. Passing nil detaches. Attaching
+// before the first Step forces the sequential scheduler; attaching to a
+// network already partitioned across workers panics (the hooks would run
+// unsynchronized inside worker goroutines).
 func (n *Network) AttachChecks(h *CheckHooks) {
 	if h == nil {
 		n.checks = nil
 		return
+	}
+	if n.par {
+		panic("sim: cannot attach checks to a network partitioned across workers")
 	}
 	if h.Inject == nil {
 		h.Inject = func(*Packet, topo.RouterID, int, bool) {}
@@ -128,13 +134,25 @@ func (n *Network) AuditChannels(visit func(ChannelAudit)) {
 	}
 	flits := map[int64]int{}   // (downstream router, in port, vc) -> count
 	credits := map[int64]int{} // (upstream router, out port, vc) -> count
-	for _, evs := range n.calendar {
-		for _, ev := range evs {
-			switch ev.kind {
-			case evFlit:
-				flits[key(topo.RouterID(ev.router), int(ev.port), int(ev.vc))]++
-			case evCredit:
-				credits[key(topo.RouterID(ev.router), int(ev.port), int(ev.vc))]++
+	count := func(ev event) {
+		switch ev.kind {
+		case evFlit:
+			flits[key(topo.RouterID(ev.router), int(ev.port), int(ev.vc))]++
+		case evCredit:
+			credits[key(topo.RouterID(ev.router), int(ev.port), int(ev.vc))]++
+		}
+	}
+	for _, sh := range n.sh {
+		for _, evs := range sh.calendar {
+			for _, ev := range evs {
+				count(ev)
+			}
+		}
+		// Cross-shard events staged at the last barrier but not yet
+		// drained into their target's calendar.
+		for _, box := range sh.outbox {
+			for _, x := range box {
+				count(x.ev)
 			}
 		}
 	}
@@ -203,7 +221,7 @@ func (n *Network) InjectFault(k FaultKind, r topo.RouterID, port, vc int) error 
 		}
 		q.pop()
 		if q.empty() {
-			n.clearVC(rt, ip, vc)
+			n.shardFor(int32(r)).clearVC(rt, ip, vc)
 		}
 		return nil
 	case FaultLeakCredit, FaultDupCredit:

@@ -5,3 +5,9 @@ package sim
 // every router and source each cycle (true). The two must be
 // observationally identical; worklist_test.go holds them to it.
 func SetStepAll(n *Network, v bool) { n.stepAll = v }
+
+// NumShards reports how many shards the network's scheduler runs across:
+// 1 until (and unless) the first Step partitions it. parallel_test.go
+// uses it to prove a partition actually happened (or was correctly
+// declined).
+func NumShards(n *Network) int { return len(n.sh) }

@@ -144,8 +144,12 @@ const (
 )
 
 type event struct {
-	kind   uint8
-	tail   bool
+	kind uint8
+	tail bool
+	// vc is the virtual channel for evFlit/evCredit. For evDeliver it
+	// instead carries the event's scheduling delay (cycles between
+	// traverse and delivery), which the parallel merge uses to recover
+	// the scheduling cycle; nothing else reads it for deliveries.
 	vc     int32
 	router int32
 	port   int32
@@ -154,6 +158,15 @@ type event struct {
 
 // Network is one instantiated simulation: a topology graph, a routing
 // algorithm, router state, traffic sources, and measurement hooks.
+//
+// All per-cycle mutable scheduler state (event calendar, arena, active
+// worklists, the RouterView handed to Route) lives in shards. A network
+// always has at least one shard; with SetWorkers(1) (the default) the
+// single bootstrap shard covers every router and the Step pipeline runs
+// exactly the sequential code path. SetWorkers(k>1) partitions routers
+// across k shards driven by worker goroutines under a conservative
+// barrier scheduler (see shard.go and DESIGN.md §13) with bit-identical
+// results.
 type Network struct {
 	g   *topo.Graph
 	alg Algorithm
@@ -162,29 +175,27 @@ type Network struct {
 	vcs     int
 	vcDepth int
 
-	cycle    int64
-	routers  []router
-	sources  []source
-	calendar [][]event
-	maxLat   int
+	cycle   int64
+	routers []router
+	sources []source
+	maxLat  int
+	calLen  int // calendar ring length (shared by every shard)
 
-	// view is the single RouterView instance handed to every Route call;
-	// reusing it keeps route allocation free of per-flit allocations.
-	view RouterView
+	// Sharded scheduler state. sh always holds at least the bootstrap
+	// shard 0; par is true once partition() split the network across
+	// worker goroutines. shardOf/shardOfNode map routers and terminals to
+	// their owning shard (nil until partitioned).
+	sh          []*shard
+	par         bool
+	started     bool // first Step happened; the partition is frozen
+	closed      bool
+	workers     int // requested via SetWorkers; effective count is len(sh)
+	shardOf     []int32
+	shardOfNode []int32
+	pool        workerPool
 
-	// activeR and activeS are the active worklists: bit r of activeR is
-	// set while router r holds at least one buffered flit, bit i of
-	// activeS while source i has a packet mid-injection or a backlog.
-	// Route, switch and inject scan only set bits (in ascending order, so
-	// behaviour is bit-identical to a full scan), making a cycle's cost
-	// proportional to active state rather than network size. stepAll
-	// disables the worklists (full scans) — the equivalence oracle used by
-	// the worklist property tests.
-	activeR []uint64
-	activeS []uint64
 	stepAll bool
 
-	arena  arena
 	nextID int64
 
 	// Measurement state, managed by the run harnesses.
@@ -201,13 +212,13 @@ type Network struct {
 	// Telemetry and sanitizer hooks; nil (the default) means every
 	// pipeline hook is a single pointer check — the zero-overhead-when-off
 	// contract that BenchmarkTelemetryOff and BenchmarkChecksOff guard.
+	// Attaching any of them before the first Step forces the sequential
+	// scheduler regardless of SetWorkers.
 	probes *Probes
 	tracer *telemetry.Tracer
 	checks *CheckHooks
 
-	injectedTotal  int64 // packets materialized into the network
 	deliveredTotal int64 // packets fully delivered (tail flit ejected)
-	flitsInjected  int64
 	flitsDelivered int64
 	measCreated    int64
 	measDelivered  int64
@@ -315,20 +326,21 @@ func New(g *topo.Graph, alg Algorithm, cfg Config) (*Network, error) {
 			rt.granted = make([]bool, len(rd.In)*(vcs+1))
 		}
 	}
-	n.view.n = n
-	n.activeR = make([]uint64, (len(g.Routers)+63)/64)
-	n.activeS = make([]uint64, (g.NumNodes+63)/64)
 	n.maxLat = maxLat
 	// The calendar ring must cover the worst-case scheduling horizon: the
 	// channel latency plus router pipeline delay plus the per-channel
 	// staging backlog, which credits bound to the downstream per-port
 	// buffering.
-	n.calendar = make([][]event, maxLat+cfg.RouterDelay+cfg.BufPerPort+2)
+	n.calLen = maxLat + cfg.RouterDelay + cfg.BufPerPort + 2
 	n.sources = make([]source, g.NumNodes)
 	for i := range n.sources {
 		n.sources[i].node = topo.NodeID(i)
 		n.sources[i].rng = master.Split()
 	}
+	// The bootstrap shard covers the whole network; it is the sequential
+	// scheduler, and stays in place unless SetWorkers partitions it at
+	// the first Step.
+	n.sh = []*shard{newShard(n, 0, 0, len(g.Routers), 0, g.NumNodes)}
 	_ = master
 	return n, nil
 }
@@ -345,59 +357,77 @@ func (n *Network) VCs() int { return n.vcs }
 // VCDepth returns the per-VC buffer depth in flits.
 func (n *Network) VCDepth() int { return n.vcDepth }
 
-// allocPacket takes a packet from the arena's freelist or allocates one.
-func (n *Network) allocPacket() *Packet { return n.arena.allocPacket() }
-
-func (n *Network) freePacket(p *Packet) { n.arena.freePacket(p) }
-
 // schedule enqueues an event delay cycles in the future. Slot growth goes
-// through the arena so backing arrays are recycled across calendar slots
-// and the steady state schedules without allocating.
-func (n *Network) schedule(delay int, ev event) {
-	slot := (n.cycle + int64(delay)) % int64(len(n.calendar))
-	evs := n.calendar[slot]
-	if len(evs) == cap(evs) {
-		evs = n.arena.growEvents(evs)
+// through the shard's arena so backing arrays are recycled across
+// calendar slots and the steady state schedules without allocating. In
+// parallel mode, events addressed to a router owned by another shard are
+// staged into that shard's outbox instead; the target drains it at the
+// next cycle barrier (delay >= 1 for every cross-shard event, so the
+// event cannot be due before the target looks).
+func (sh *shard) schedule(delay int, ev event) {
+	n := sh.n
+	if n.par {
+		if tgt := n.shardOf[ev.router]; int(tgt) != sh.idx {
+			sh.outbox[tgt] = append(sh.outbox[tgt], xev{at: n.cycle + int64(delay), ev: ev})
+			return
+		}
 	}
-	n.calendar[slot] = append(evs, ev)
+	slot := (n.cycle + int64(delay)) % int64(len(sh.calendar))
+	evs := sh.calendar[slot]
+	if len(evs) == cap(evs) {
+		evs = sh.arena.growEvents(evs)
+	}
+	sh.calendar[slot] = append(evs, ev)
 }
 
 // wakeVC marks input VC (ip, vc) occupied and puts the router on the
-// active worklist. Idempotent when the bit is already set.
-func (n *Network) wakeVC(rt *router, ip *inPort, vc int) {
+// shard's active worklist. Idempotent when the bit is already set.
+func (sh *shard) wakeVC(rt *router, ip *inPort, vc int) {
 	if ip.occ&(1<<uint(vc)) != 0 {
 		return
 	}
 	ip.occ |= 1 << uint(vc)
 	if rt.occVCs == 0 {
-		r := uint(rt.id)
-		n.activeR[r>>6] |= 1 << (r & 63)
+		r := uint(int(rt.id) - sh.r0)
+		sh.activeR[r>>6] |= 1 << (r & 63)
 	}
 	rt.occVCs++
 }
 
 // clearVC marks input VC (ip, vc) empty, dropping the router from the
 // worklist when it was its last occupied VC. The bit must be set.
-func (n *Network) clearVC(rt *router, ip *inPort, vc int) {
+func (sh *shard) clearVC(rt *router, ip *inPort, vc int) {
 	ip.occ &^= 1 << uint(vc)
 	rt.occVCs--
 	if rt.occVCs == 0 {
-		r := uint(rt.id)
-		n.activeR[r>>6] &^= 1 << (r & 63)
+		r := uint(int(rt.id) - sh.r0)
+		sh.activeR[r>>6] &^= 1 << (r & 63)
 	}
 }
 
-// wakeSource puts source i on the injection worklist.
+// wakeSource puts source i on its owning shard's injection worklist.
+// Called from the caller thread between Steps (generation, traces,
+// transfers), never from inside a phase.
 func (n *Network) wakeSource(i int) {
-	n.activeS[i>>6] |= 1 << (uint(i) & 63)
+	sh := n.shardForNode(i)
+	li := uint(i - sh.s0)
+	sh.activeS[li>>6] |= 1 << (li & 63)
 }
 
 // Step advances the simulation by one cycle.
 func (n *Network) Step() {
-	n.processEvents()
-	n.inject()
-	n.routeAllocate()
-	n.switchAllocate()
+	if !n.started {
+		n.startup()
+	}
+	if n.par {
+		n.stepParallel()
+		return
+	}
+	sh := n.sh[0]
+	sh.processEvents()
+	sh.inject()
+	sh.routeAllocate()
+	sh.switchAllocate()
 	if n.probes != nil && n.cycle%n.probes.stride == 0 {
 		n.sampleProbes()
 	}
@@ -408,18 +438,24 @@ func (n *Network) Step() {
 }
 
 // processEvents applies flit arrivals, credit returns and deliveries
-// scheduled for the current cycle.
-func (n *Network) processEvents() {
-	slot := n.cycle % int64(len(n.calendar))
-	evs := n.calendar[slot]
-	n.calendar[slot] = evs[:0]
+// scheduled for the current cycle. In parallel mode deliveries are
+// deferred to the shard's pendDel list; the coordinator replays them in
+// the exact sequential order at the phase barrier (mergeDeliveries).
+func (sh *shard) processEvents() {
+	n := sh.n
+	if n.par {
+		sh.drainInboxes()
+	}
+	slot := n.cycle % int64(len(sh.calendar))
+	evs := sh.calendar[slot]
+	sh.calendar[slot] = evs[:0]
 	for _, ev := range evs {
 		switch ev.kind {
 		case evFlit:
 			rt := &n.routers[ev.router]
 			ip := &rt.in[ev.port]
 			ip.vcs[ev.vc].push(flit{pkt: ev.pkt, tail: ev.tail})
-			n.wakeVC(rt, ip, int(ev.vc))
+			sh.wakeVC(rt, ip, int(ev.vc))
 		case evCredit:
 			op := &n.routers[ev.router].out[ev.port]
 			op.credits[ev.vc]++
@@ -429,33 +465,46 @@ func (n *Network) processEvents() {
 				n.checks.CreditReturn(topo.RouterID(ev.router), int(ev.port), int(ev.vc), op.credits[ev.vc])
 			}
 		case evDeliver:
-			n.flitsDelivered++
-			if n.tracer != nil {
-				n.tracer.Record(telemetry.FlitEvent{
-					Cycle: n.cycle, Kind: telemetry.EvEject, Packet: ev.pkt.ID,
-					Src: int(ev.pkt.Src), Dst: int(ev.pkt.Dst),
-					Router: int(ev.router), Port: int(ev.port), VC: -1, Tail: ev.tail,
-				})
+			if n.par {
+				sh.pendDel = append(sh.pendDel, ev)
+				continue
 			}
-			if n.checks != nil {
-				n.checks.Eject(ev.pkt, topo.RouterID(ev.router), int(ev.port), ev.tail)
-			}
-			if !ev.tail {
-				break
-			}
-			n.deliveredTotal++
-			if ev.pkt.Measured {
-				n.measDelivered++
-			}
-			if n.xfers != nil {
-				n.completeTransfer(ev.pkt)
-			}
-			if n.onDeliver != nil {
-				n.onDeliver(ev.pkt, n.cycle)
-			}
-			n.freePacket(ev.pkt)
+			n.deliverEvent(sh, ev)
 		}
 	}
+}
+
+// deliverEvent applies one ejection event: counters, hooks, transfer
+// accounting, and packet recycling into home's arena (the shard that
+// owns the packet's source, so steady-state packet objects circulate
+// back to the arena they are allocated from). Runs on the caller thread:
+// inline in the sequential scheduler, from mergeDeliveries in parallel.
+func (n *Network) deliverEvent(home *shard, ev event) {
+	n.flitsDelivered++
+	if n.tracer != nil {
+		n.tracer.Record(telemetry.FlitEvent{
+			Cycle: n.cycle, Kind: telemetry.EvEject, Packet: ev.pkt.ID,
+			Src: int(ev.pkt.Src), Dst: int(ev.pkt.Dst),
+			Router: int(ev.router), Port: int(ev.port), VC: -1, Tail: ev.tail,
+		})
+	}
+	if n.checks != nil {
+		n.checks.Eject(ev.pkt, topo.RouterID(ev.router), int(ev.port), ev.tail)
+	}
+	if !ev.tail {
+		return
+	}
+	n.deliveredTotal++
+	if ev.pkt.Measured {
+		n.measDelivered++
+	}
+	if n.xfers != nil {
+		n.completeTransfer(ev.pkt)
+	}
+	if n.onDeliver != nil {
+		n.onDeliver(ev.pkt, n.cycle)
+	}
+	home.arena.freePacket(ev.pkt)
 }
 
 // inject moves flits from source backlogs into their routers' terminal
@@ -464,18 +513,18 @@ func (n *Network) processEvents() {
 // sources on the active worklist (a packet mid-injection or a non-empty
 // backlog) are visited; a source that runs dry leaves the list until the
 // next arrival wakes it.
-func (n *Network) inject() {
-	if n.stepAll {
-		for i := range n.sources {
-			n.injectSource(i)
+func (sh *shard) inject() {
+	if sh.n.stepAll {
+		for i := sh.s0; i < sh.s1; i++ {
+			sh.injectSource(i)
 		}
 		return
 	}
-	for w := range n.activeS {
-		for word := n.activeS[w]; word != 0; word &= word - 1 {
+	for w := range sh.activeS {
+		for word := sh.activeS[w]; word != 0; word &= word - 1 {
 			b := bits.TrailingZeros64(word)
-			if !n.injectSource(w<<6 + b) {
-				n.activeS[w] &^= 1 << uint(b)
+			if !sh.injectSource(sh.s0 + w<<6 + b) {
+				sh.activeS[w] &^= 1 << uint(b)
 			}
 		}
 	}
@@ -484,7 +533,8 @@ func (n *Network) inject() {
 // injectSource advances one source's injection by up to one flit and
 // reports whether the source still has pending work (and so must stay on
 // the worklist).
-func (n *Network) injectSource(i int) bool {
+func (sh *shard) injectSource(i int) bool {
+	n := sh.n
 	s := &n.sources[i]
 	if s.cur == nil {
 		if s.backlogLen() == 0 {
@@ -494,9 +544,18 @@ func (n *Network) injectSource(i int) bool {
 			return true // the next (trace) arrival is in the future
 		}
 		a := s.pop()
-		p := n.allocPacket()
-		p.ID = n.nextID
-		n.nextID++
+		p := sh.arena.allocPacket()
+		if n.par {
+			// Shards cannot share a sequence counter without coordination.
+			// (materialization cycle, source index) is the exact order the
+			// sequential counter hands IDs out in, so this keying preserves
+			// every ID comparison the age arbiter can make while staying
+			// shard-local. Values differ from sequential IDs; order does not.
+			p.ID = n.cycle*int64(n.g.NumNodes) + int64(i)
+		} else {
+			p.ID = n.nextID
+			n.nextID++
+		}
 		p.Src = s.node
 		if a.hasDst {
 			p.Dst = a.dst
@@ -509,12 +568,21 @@ func (n *Network) injectSource(i int) bool {
 		p.Measured = a.ts >= n.measStart && a.ts < n.measEnd
 		s.cur = p
 		s.remaining = n.cfg.PacketSize
-		n.injectedTotal++
-		if a.xfer != nil {
-			n.registerTransfer(p, a.xfer)
-		}
-		if n.onMaterialize != nil {
-			n.onMaterialize(p)
+		sh.injected++
+		if n.par {
+			// Transfer registration and the materialization callback touch
+			// caller-owned state; defer them to the barrier, where the
+			// coordinator applies them in sequential (shard, source) order.
+			if a.xfer != nil || n.onMaterialize != nil {
+				sh.mat = append(sh.mat, matEntry{pkt: p, xfer: a.xfer})
+			}
+		} else {
+			if a.xfer != nil {
+				n.registerTransfer(p, a.xfer)
+			}
+			if n.onMaterialize != nil {
+				n.onMaterialize(p)
+			}
 		}
 	}
 	r := n.g.NodeRouter[s.node]
@@ -528,8 +596,8 @@ func (n *Network) injectSource(i int) bool {
 	s.remaining--
 	tail := s.remaining == 0
 	q.push(flit{pkt: s.cur, tail: tail})
-	n.wakeVC(rt, ip, 0)
-	n.flitsInjected++
+	sh.wakeVC(rt, ip, 0)
+	sh.flitsInjected++
 	if n.tracer != nil {
 		n.tracer.Record(telemetry.FlitEvent{
 			Cycle: n.cycle, Kind: telemetry.EvInject, Packet: s.cur.ID,
@@ -551,7 +619,8 @@ func (n *Network) PacketSize() int { return n.cfg.PacketSize }
 
 // Inventory counts every flit currently alive inside the simulator:
 // buffered in routers plus in flight on channels (including flits whose
-// delivery event is pending). Used by conservation tests.
+// delivery event is pending, and flits staged in cross-shard outboxes).
+// Used by conservation tests.
 func (n *Network) Inventory() (buffered, inFlight int) {
 	for r := range n.routers {
 		for p := range n.routers[r].in {
@@ -560,10 +629,19 @@ func (n *Network) Inventory() (buffered, inFlight int) {
 			}
 		}
 	}
-	for _, evs := range n.calendar {
-		for _, ev := range evs {
-			if ev.kind == evFlit || ev.kind == evDeliver {
-				inFlight++
+	for _, sh := range n.sh {
+		for _, evs := range sh.calendar {
+			for _, ev := range evs {
+				if ev.kind == evFlit || ev.kind == evDeliver {
+					inFlight++
+				}
+			}
+		}
+		for _, box := range sh.outbox {
+			for _, x := range box {
+				if x.ev.kind == evFlit || x.ev.kind == evDeliver {
+					inFlight++
+				}
 			}
 		}
 	}
@@ -573,13 +651,19 @@ func (n *Network) Inventory() (buffered, inFlight int) {
 // Totals returns lifetime counters: packets materialized into the network
 // and packets fully delivered.
 func (n *Network) Totals() (injected, delivered int64) {
-	return n.injectedTotal, n.deliveredTotal
+	for _, sh := range n.sh {
+		injected += sh.injected
+	}
+	return injected, n.deliveredTotal
 }
 
 // FlitTotals returns lifetime flit counters: flits that entered a
 // terminal input buffer and flits that left an ejection channel.
 func (n *Network) FlitTotals() (injected, delivered int64) {
-	return n.flitsInjected, n.flitsDelivered
+	for _, sh := range n.sh {
+		injected += sh.flitsInjected
+	}
+	return injected, n.flitsDelivered
 }
 
 // Backlog returns the number of generated-but-not-yet-materialized packets

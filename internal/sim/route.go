@@ -8,32 +8,34 @@ import (
 	"flatnet/internal/topo"
 )
 
-// routeAllocate runs route computation for every un-routed buffer head.
-// Greedy allocation reads start-of-cycle estimates; sequential allocation
-// additionally sees the reservations (delta) of decisions made earlier in
-// the same cycle, in input-port order (§3.1). Only routers on the active
-// worklist (holding at least one buffered flit) are visited, in ascending
-// router order — the same order the full scan would use — so idle routers
-// cost no work.
-func (n *Network) routeAllocate() {
-	n.view.seq = n.alg.Sequential()
+// routeAllocate runs route computation for every un-routed buffer head of
+// the shard's routers. Greedy allocation reads start-of-cycle estimates;
+// sequential allocation additionally sees the reservations (delta) of
+// decisions made earlier in the same cycle, in input-port order (§3.1).
+// Only routers on the active worklist (holding at least one buffered
+// flit) are visited, in ascending router order — the same order the full
+// scan would use — so idle routers cost no work.
+func (sh *shard) routeAllocate() {
+	n := sh.n
+	sh.view.seq = n.alg.Sequential()
 	if n.stepAll {
-		for r := range n.routers {
-			n.routeRouter(&n.routers[r])
+		for r := sh.r0; r < sh.r1; r++ {
+			sh.routeRouter(&n.routers[r])
 		}
 	} else {
-		for w := range n.activeR {
-			for word := n.activeR[w]; word != 0; word &= word - 1 {
-				n.routeRouter(&n.routers[w<<6+bits.TrailingZeros64(word)])
+		for w := range sh.activeR {
+			for word := sh.activeR[w]; word != 0; word &= word - 1 {
+				sh.routeRouter(&n.routers[sh.r0+w<<6+bits.TrailingZeros64(word)])
 			}
 		}
 	}
-	n.view.rt = nil
+	sh.view.rt = nil
 }
 
 // routeRouter routes every un-routed buffer head of one router.
-func (n *Network) routeRouter(rt *router) {
-	n.view.rt = rt
+func (sh *shard) routeRouter(rt *router) {
+	n := sh.n
+	sh.view.rt = rt
 	for p := range rt.in {
 		ip := &rt.in[p]
 		for occ := ip.occ; occ != 0; occ &= occ - 1 {
@@ -42,7 +44,7 @@ func (n *Network) routeRouter(rt *router) {
 			if q.routed {
 				continue
 			}
-			dec := n.alg.Route(&n.view, q.peek().pkt)
+			dec := n.alg.Route(&sh.view, q.peek().pkt)
 			q.out = dec
 			q.routed = true
 			if n.checks != nil {
@@ -86,9 +88,12 @@ func (n *Network) routeRouter(rt *router) {
 //
 // RouterView is a concrete struct (not an interface) so the per-flit Route
 // call performs no interface conversion and its accessors inline — part of
-// the cycle core's zero-allocation contract. One view is embedded in the
-// Network and reused for every Route call; it is only valid for the
-// duration of that call.
+// the cycle core's zero-allocation contract. One view lives in every
+// shard and is reused for each of its Route calls; it is only valid for
+// the duration of that call. A view only ever exposes the owning shard's
+// routers, which (with the read-only routing tables, see
+// internal/routing) is what makes Route safe to run on shards in
+// parallel.
 type RouterView struct {
 	n   *Network
 	rt  *router

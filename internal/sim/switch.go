@@ -25,22 +25,24 @@ func (n *Network) reqUnpack(key int32) (inport, vc int) {
 // downstream credits exist (which also bounds the per-channel staging
 // backlog to the downstream buffer size), and cfg.Speedup, when non-zero,
 // caps both the grants per input port and per output port in a cycle.
-func (n *Network) switchAllocate() {
+func (sh *shard) switchAllocate() {
+	n := sh.n
 	if n.stepAll {
-		for r := range n.routers {
-			n.switchRouter(&n.routers[r])
+		for r := sh.r0; r < sh.r1; r++ {
+			sh.switchRouter(&n.routers[r])
 		}
 		return
 	}
-	for w := range n.activeR {
-		for word := n.activeR[w]; word != 0; word &= word - 1 {
-			n.switchRouter(&n.routers[w<<6+bits.TrailingZeros64(word)])
+	for w := range sh.activeR {
+		for word := sh.activeR[w]; word != 0; word &= word - 1 {
+			sh.switchRouter(&n.routers[sh.r0+w<<6+bits.TrailingZeros64(word)])
 		}
 	}
 }
 
 // switchRouter performs one router's switch allocation.
-func (n *Network) switchRouter(rt *router) {
+func (sh *shard) switchRouter(rt *router) {
+	n := sh.n
 	speedup := n.cfg.Speedup
 	// Collect requests.
 	anyReq := false
@@ -83,7 +85,7 @@ func (n *Network) switchRouter(rt *router) {
 		}
 		op := &rt.out[p]
 		if n.cfg.AgeArbiter {
-			granted := n.grantByAge(rt, op, reqs, speedup)
+			granted := sh.grantByAge(rt, op, reqs, speedup)
 			if n.probes != nil {
 				n.probes.Grants += int64(granted)
 				n.probes.Conflicts += int64(len(reqs) - granted)
@@ -124,7 +126,7 @@ func (n *Network) switchRouter(rt *router) {
 				op.rr = int(key)
 				rt.grants[inport]++
 				outGrants++
-				n.traverse(rt, inport, vc)
+				sh.traverse(rt, inport, vc)
 			}
 		}
 		if n.probes != nil {
@@ -139,7 +141,8 @@ func (n *Network) switchRouter(rt *router) {
 // repeatedly grant the eligible requester whose head packet has the
 // earliest injection cycle (ties by packet ID), until speedup or credits
 // run out. It returns the number of grants issued.
-func (n *Network) grantByAge(rt *router, op *outPort, reqs []int32, speedup int) int {
+func (sh *shard) grantByAge(rt *router, op *outPort, reqs []int32, speedup int) int {
+	n := sh.n
 	outGrants := 0
 	// granted is preallocated per-router scratch indexed by reqKey; it is
 	// cleared below by walking reqs, so no per-cycle map is built.
@@ -190,27 +193,28 @@ func (n *Network) grantByAge(rt *router, op *outPort, reqs []int32, speedup int)
 		inport, vc := n.reqUnpack(best)
 		rt.grants[inport]++
 		outGrants++
-		n.traverse(rt, inport, vc)
+		sh.traverse(rt, inport, vc)
 	}
 }
 
 // traverse pops the granted flit and sends it down its output channel,
 // serializing transmission to one flit per cycle per channel, and returns
 // a credit upstream for network inputs.
-func (n *Network) traverse(rt *router, inport, vc int) {
+func (sh *shard) traverse(rt *router, inport, vc int) {
+	n := sh.n
 	ip := &rt.in[inport]
 	q := &ip.vcs[vc]
 	dec := q.out
 	isHead := !q.headSent
 	f := q.pop()
 	if q.empty() {
-		n.clearVC(rt, ip, vc)
+		sh.clearVC(rt, ip, vc)
 	}
 	op := &rt.out[dec.Port]
 	if ip.kind == topo.Network {
 		// Return a credit to the upstream router for the freed slot; it
 		// travels the reverse channel, so it takes the channel latency.
-		n.schedule(ip.creditLat, event{kind: evCredit, router: int32(ip.peer), port: int32(ip.peerPort), vc: int32(vc)})
+		sh.schedule(ip.creditLat, event{kind: evCredit, router: int32(ip.peer), port: int32(ip.peerPort), vc: int32(vc)})
 	}
 	depart := n.cycle
 	if op.nextFree > depart {
@@ -257,10 +261,12 @@ func (n *Network) traverse(rt *router, inport, vc int) {
 			f.pkt.Hops++
 		}
 		// The next router's pipeline delay is charged on arrival.
-		n.schedule(delay+n.cfg.RouterDelay, event{kind: evFlit, tail: f.tail, router: int32(op.peer), port: int32(op.peerPort), vc: int32(dec.VC), pkt: f.pkt})
+		sh.schedule(delay+n.cfg.RouterDelay, event{kind: evFlit, tail: f.tail, router: int32(op.peer), port: int32(op.peerPort), vc: int32(dec.VC), pkt: f.pkt})
 	case topo.Terminal:
 		op.pending[dec.VC]--
 		op.pendingSum--
-		n.schedule(delay, event{kind: evDeliver, tail: f.tail, router: int32(rt.id), port: int32(dec.Port), pkt: f.pkt})
+		// A delivery is always local to this shard; vc carries the delay
+		// so the parallel merge can recover the scheduling cycle.
+		sh.schedule(delay, event{kind: evDeliver, tail: f.tail, router: int32(rt.id), port: int32(dec.Port), vc: int32(delay), pkt: f.pkt})
 	}
 }

@@ -172,7 +172,7 @@ func (j Job) run(stop func() bool, attach func(*sim.Network)) (Result, error) {
 		rc := sim.RunConfig{
 			Load: j.Load, Pattern: pat,
 			Warmup: j.Warmup, Measure: j.Measure, MaxCycles: j.MaxCycles,
-			Stop: stop, Attach: attach,
+			Stop: stop, Attach: attach, Workers: j.Workers,
 		}
 		res.Point, err = sim.RunLoadPoint(g, alg, cfg, rc)
 	case ModeSaturation:
@@ -182,13 +182,13 @@ func (j Job) run(stop func() bool, attach func(*sim.Network)) (Result, error) {
 			Load: 1.0, Pattern: pat,
 			Warmup: j.Warmup, Measure: j.Measure,
 			MaxCycles: j.Warmup + j.Measure + 1,
-			Stop:      stop, Attach: attach,
+			Stop:      stop, Attach: attach, Workers: j.Workers,
 		}
 		res.Point, err = sim.RunLoadPoint(g, alg, cfg, rc)
 	case ModeBatch:
 		res.Batch, err = sim.RunBatch(g, alg, cfg, sim.BatchConfig{
 			Pattern: pat, BatchSize: j.BatchSize, MaxCycles: j.MaxCycles,
-			Stop: stop, Attach: attach,
+			Stop: stop, Attach: attach, Workers: j.Workers,
 		})
 	default:
 		err = fmt.Errorf("sweep: unknown mode %q", j.Mode)

@@ -91,6 +91,13 @@ type Job struct {
 	Speedup     int  `json:"speedup,omitempty"`
 	AgeArbiter  bool `json:"age_arbiter,omitempty"`
 	RouterDelay int  `json:"router_delay,omitempty"`
+
+	// Workers partitions the job's cycle core across this many worker
+	// goroutines (sim.RunConfig.Workers). It is an execution detail, not
+	// part of the experiment: results are bit-identical at every worker
+	// count, so it is excluded from the canonical encoding and the cache
+	// hash — cached results are shared across worker settings.
+	Workers int `json:"-"`
 }
 
 // Normalize returns the job with every defaulted field made explicit and

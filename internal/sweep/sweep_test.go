@@ -79,6 +79,11 @@ func TestJobHashInvalidation(t *testing.T) {
 		"AgeArbiter":     func(j *Job) { j.AgeArbiter = true },
 		"RouterDelay":    func(j *Job) { j.RouterDelay = 2 },
 	}
+	// Execution-detail fields whose value must NOT change the hash:
+	// results are bit-identical across them, so cache entries are shared.
+	unhashed := map[string]func(*Job){
+		"Workers": func(j *Job) { j.Workers = 8 },
+	}
 	seen := map[string]string{base.Hash(): "base"}
 	for field, mutate := range mutations {
 		j := base
@@ -89,10 +94,18 @@ func TestJobHashInvalidation(t *testing.T) {
 		}
 		seen[h] = field
 	}
-	// Every Job field must be covered above, so adding a field without
-	// extending the canonical encoding fails this test.
-	if want := reflect.TypeOf(Job{}).NumField(); len(mutations) != want {
-		t.Errorf("mutation table covers %d fields, Job has %d — extend the table and the canonical encoding", len(mutations), want)
+	for field, mutate := range unhashed {
+		j := base
+		mutate(&j)
+		if j.Hash() != base.Hash() {
+			t.Errorf("mutating execution detail %s changed the hash; cached results would not be shared", field)
+		}
+	}
+	// Every Job field must be covered above (hashed or explicitly
+	// execution-detail), so adding a field without deciding its caching
+	// behavior fails this test.
+	if want := reflect.TypeOf(Job{}).NumField(); len(mutations)+len(unhashed) != want {
+		t.Errorf("mutation tables cover %d fields, Job has %d — extend the tables and the canonical encoding", len(mutations)+len(unhashed), want)
 	}
 }
 

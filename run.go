@@ -56,6 +56,15 @@ func WithSeed(seed uint64) Option {
 	return func(o *runOptions) { o.cfg.Seed = seed }
 }
 
+// WithWorkers partitions the run's cycle core across n worker
+// goroutines (router shards exchanging flits at per-cycle barriers).
+// Results are bit-identical at every worker count; n <= 1 selects the
+// sequential scheduler. Runs with telemetry, tracing or checking
+// attached always execute sequentially.
+func WithWorkers(n int) Option {
+	return func(o *runOptions) { o.rc.Workers = n }
+}
+
 // WithBurst switches injection from Bernoulli to the on/off bursty
 // process: ON states inject at peak flits per node per cycle with mean
 // duration avgBurst cycles, at the same long-run average load.
