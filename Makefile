@@ -70,6 +70,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzInvariants -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzShardEquivalence -fuzztime=30s ./internal/sim/
+	$(GO) test -fuzz=FuzzSnapshotRoundTrip -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/nocsvc/
 
 clean:

@@ -7,6 +7,7 @@
 package flatnet_test
 
 import (
+	"bytes"
 	"testing"
 
 	"flatnet"
@@ -349,6 +350,52 @@ func BenchmarkSimulatorCyclesParallel(b *testing.B) {
 		n.Step()
 	}
 	b.ReportMetric(float64(ff.NumNodes), "nodes")
+}
+
+// BenchmarkSnapshotRestore measures the checkpoint/restore round trip
+// on the §3.2 network: one op serializes the warmed 1024-terminal
+// 32-ary 2-flat (Network.Snapshot) and rebuilds an identical network
+// from the bytes (Restore). This is the cost a warm-start sweep pays
+// instead of re-running warm-up, so it must stay far below the warm-up
+// it replaces. Restore materializes a whole network, so the op
+// allocates by design — benchguard exempts it from the zero-alloc gate
+// and holds ns/op only.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	ff, err := flatnet.NewFlatFly(32, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := flatnet.NewClosAD(ff)
+	n, err := flatnet.NewNetwork(ff.Graph(), alg, flatnet.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	n.SetPattern(flatnet.NewUniform(ff.NumNodes))
+	for i := 0; i < 2000; i++ {
+		n.GenerateBernoulli(0.5)
+		n.Step()
+	}
+	var buf bytes.Buffer
+	if err := n.Snapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	size := buf.Len()
+	b.ReportAllocs()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := n.Snapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		r, err := flatnet.Restore(bytes.NewReader(buf.Bytes()), ff.Graph(), alg, flatnet.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+	b.ReportMetric(float64(size), "snapshot_bytes")
 }
 
 // BenchmarkTelemetryOff is the zero-overhead-when-off guard: the exact

@@ -52,6 +52,8 @@ func main() {
 	flag.IntVar(&o.traceCap, "tracecap", 1<<16, "flit tracer ring capacity in events (oldest evicted when full)")
 	flag.BoolVar(&o.check, "check", false, "run under the runtime invariant sanitizer (open-loop -load/-sweep/-batch runs)")
 	flag.IntVar(&o.workers, "workers", 1, "cycle-core worker goroutines (results are bit-identical at any count; >1 disables probe reporting)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "write a snapshot of the warmed network to this file when the measurement window opens (single -load runs; disables probe reporting)")
+	flag.StringVar(&o.restore, "restore", "", "restore the network from a -checkpoint snapshot instead of warming up (single -load runs; pass the same topology/-seed/-buf/-warmup as the checkpointing run)")
 	flag.Parse()
 
 	// First SIGINT/SIGTERM asks the run to stop at the next poll (the
@@ -79,27 +81,29 @@ func main() {
 // runOpts collects every flag; run is pure in it, which is what the
 // tests drive.
 type runOpts struct {
-	topo      string
-	k, n      int
-	dims      int
-	taper     int
-	alg       string
-	pattern   string
-	trace     string
-	load      float64
-	sweep     bool
-	batch     int
-	window    int
-	warmup    int
-	measure   int
-	seed      uint64
-	buf       int
-	listen    string
-	flitTrace string
-	traceCap  int
-	check     bool
-	workers   int
-	stop      func() bool // polled cancellation hook (nil = never stop)
+	topo       string
+	k, n       int
+	dims       int
+	taper      int
+	alg        string
+	pattern    string
+	trace      string
+	load       float64
+	sweep      bool
+	batch      int
+	window     int
+	warmup     int
+	measure    int
+	seed       uint64
+	buf        int
+	listen     string
+	flitTrace  string
+	traceCap   int
+	check      bool
+	workers    int
+	checkpoint string
+	restore    string
+	stop       func() bool // polled cancellation hook (nil = never stop)
 }
 
 // telemetryReg is process-global: the expvar namespace is write-once,
@@ -193,8 +197,28 @@ func run(o runOpts) error {
 	if o.check && (o.trace != "" || o.window > 0) {
 		return fmt.Errorf("-check applies to open-loop runs (-load, -sweep, -batch)")
 	}
-	if o.workers > 1 && (o.check || o.flitTrace != "" || o.trace != "" || o.window > 0) {
-		return fmt.Errorf("-workers > 1 applies to uninstrumented open-loop runs (-load, -sweep, -batch without -check/-flittrace)")
+	// Instrumented runs force the sequential scheduler: say so instead of
+	// silently ignoring -workers.
+	if o.workers > 1 {
+		switch {
+		case o.check:
+			fmt.Fprintln(os.Stderr, "flatsim: -check forces the sequential scheduler; ignoring -workers")
+			o.workers = 1
+		case o.flitTrace != "":
+			fmt.Fprintln(os.Stderr, "flatsim: -flittrace forces the sequential scheduler; ignoring -workers")
+			o.workers = 1
+		case o.trace != "":
+			fmt.Fprintln(os.Stderr, "flatsim: trace replay is sequential; ignoring -workers")
+			o.workers = 1
+		}
+	}
+	if o.checkpoint != "" || o.restore != "" {
+		if o.sweep || o.batch > 0 || o.trace != "" || o.window > 0 {
+			return fmt.Errorf("-checkpoint/-restore apply to single-point open-loop runs (-load)")
+		}
+		if o.check || o.flitTrace != "" {
+			return fmt.Errorf("-checkpoint/-restore cannot run with -check or -flittrace (the snapshot would be unfaithful)")
+		}
 	}
 
 	if o.trace != "" {
@@ -204,6 +228,7 @@ func run(o runOpts) error {
 	if o.window > 0 {
 		res, err := flatnet.RunClosedLoop(g, alg, cfg, flatnet.ClosedLoopConfig{
 			Window: o.window, Pattern: p, Warmup: o.warmup, Measure: o.measure,
+			Workers: o.workers,
 		})
 		if err != nil {
 			return err
@@ -280,11 +305,35 @@ func runPoint(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, p fla
 		tracer = flatnet.NewTracer(o.traceCap)
 		rc.Tracer = tracer
 	}
+	var ckptFile *os.File
+	if o.restore != "" {
+		f, err := os.Open(o.restore)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rc.Resume = f
+	}
+	if o.checkpoint != "" {
+		f, err := os.Create(o.checkpoint)
+		if err != nil {
+			return err
+		}
+		ckptFile = f
+		rc.Checkpoint = f
+	}
 	var top []flatnet.ProbeChannel
 	var probes *flatnet.Probes
-	if o.workers <= 1 {
+	switch {
+	case o.workers > 1:
 		// Probes force the sequential scheduler, so a parallel run skips
 		// them (and the pipeline/top-channel report they feed).
+		fmt.Fprintln(os.Stderr, "flatsim: -workers > 1 disables probes; skipping the pipeline/top-channel report")
+	case o.checkpoint != "":
+		// A probed network refuses to snapshot (the probes would be
+		// dropped silently on restore), so checkpointing runs unprobed.
+		fmt.Fprintln(os.Stderr, "flatsim: -checkpoint disables probes; skipping the pipeline/top-channel report")
+	default:
 		rc.Probes = &flatnet.ProbeConfig{}
 		rc.Observe = func(n *flatnet.Network) {
 			probes = n.Probes()
@@ -296,8 +345,19 @@ func runPoint(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, p fla
 		checked = flatnet.ArmCheck(&rc, flatnet.CheckConfig{})
 	}
 	r, err := flatnet.RunLoadPoint(g, alg, cfg, rc)
+	if ckptFile != nil {
+		if cerr := ckptFile.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if o.restore != "" {
+		fmt.Printf("restored warm state from %s (measurement started at cycle %d)\n", o.restore, o.warmup)
+	}
+	if o.checkpoint != "" {
+		fmt.Printf("warm checkpoint -> %s\n", o.checkpoint)
 	}
 	if err := checked(); err != nil {
 		return err

@@ -79,6 +79,41 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunCheckpointRestore(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "warm.snap")
+	o := opts()
+	o.k, o.warmup, o.measure = 4, 100, 100
+	o.checkpoint = snap
+	if err := run(o); err != nil {
+		t.Fatalf("checkpoint run: %v", err)
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint file: %v (size %v)", err, fi)
+	}
+	o = opts()
+	o.k, o.warmup, o.measure = 4, 100, 100
+	o.restore = snap
+	if err := run(o); err != nil {
+		t.Fatalf("restore run: %v", err)
+	}
+	// Restoring with mismatched build flags must fail, not misreport.
+	o.seed = 99
+	if err := run(o); err == nil {
+		t.Fatal("restore with a mismatched seed accepted")
+	}
+
+	o = opts()
+	o.checkpoint, o.sweep = snap, true
+	if err := run(o); err == nil {
+		t.Fatal("-checkpoint with -sweep accepted")
+	}
+	o = opts()
+	o.restore, o.check = snap, true
+	if err := run(o); err == nil {
+		t.Fatal("-restore with -check accepted")
+	}
+}
+
 func TestRunTraceReplay(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.trace")

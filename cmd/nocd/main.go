@@ -1,6 +1,7 @@
 // Command nocd serves NoC latency estimates as a service: the nocsvc
 // newline-delimited JSON protocol (open_session / estimate /
-// batch_estimate / stats / close_session) answered from live, warmed
+// batch_estimate / checkpoint_session / clone_session / stats /
+// close_session) answered from live, warmed
 // flatnet simulations. An execution-driven host simulator opens a
 // session describing topology, routing and background load, then asks
 // for congestion-aware transfer latencies the way uPIMulator consults
@@ -50,6 +51,7 @@ func main() {
 		budget      = flag.Int("budget", 1<<16, "per-estimate cycle budget before reporting saturation")
 		maxNodes    = flag.Int("max-nodes", 4096, "reject session topologies with more terminals than this (<0 disables)")
 		workers     = flag.Int("workers", 1, "default cycle-core worker goroutines per session (opens may override; estimates are bit-identical at any count)")
+		maxCkpts    = flag.Int("max-checkpoints", 16, "server-side session checkpoint store cap (oldest evicted first)")
 		telemAddr   = flag.String("telemetry", "", "serve live metrics (/debug/vars, /debug/pprof) on this address")
 	)
 	flag.Parse()
@@ -69,6 +71,7 @@ func main() {
 		EstimateBudget: *budget,
 		MaxNodes:       *maxNodes,
 		DefaultWorkers: *workers,
+		MaxCheckpoints: *maxCkpts,
 	})
 
 	if *telemAddr != "" {

@@ -40,7 +40,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-scale smoke run for simulation figures")
 	parallel := flag.Bool("parallel", true, "run simulation jobs on a worker pool")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, at least 2)")
-	cachePath := flag.String("cache", "", "JSON-lines result cache file ('' disables caching)")
+	simW := flag.Int("simworkers", 0, "cycle-core worker goroutines inside each simulation job (bit-identical at any count; 0/1 = sequential)")
+	cachePath := flag.String("cache", "", "JSON-lines result cache file ('' disables caching; also enables the warm-snapshot store beside it)")
 	listen := flag.String("listen", "", "serve live metrics (/debug/vars, /debug/pprof) on this address during the run")
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "paperfigs: serving metrics on http://%s/debug/vars\n", srv.Addr())
 	}
+	simWorkers = *simW
 	runErr := run(*fig, *out, *quick, eng)
 	reportEngine(eng)
 	closeCache()
@@ -91,6 +93,15 @@ func newEngine(parallel bool, workers int, cachePath string) (eng *sweep.Engine,
 		}
 		eng.Cache = cache
 		closeCache = func() { cache.Close() }
+		// The warm-snapshot store lives beside the JSONL cache: each
+		// load point's warm-up is simulated once, then restored on
+		// every re-measurement of that point.
+		ws, err := sweep.OpenWarmStore(cachePath + ".warm")
+		if err != nil {
+			closeCache()
+			return nil, nil, err
+		}
+		eng.Warm = ws
 	}
 	return eng, closeCache, nil
 }
@@ -123,6 +134,10 @@ func reportEngine(eng *sweep.Engine) {
 		cs := eng.Cache.Stats()
 		fmt.Fprintf(os.Stderr, "paperfigs: cache: %d hits, %d misses, %d entries, %d corrupt lines dropped\n",
 			cs.Hits, cs.Misses, cs.Entries, cs.Corrupt)
+	}
+	if eng.Warm != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: warm snapshots: %d restores, %d saved, %d warm-up cycles skipped\n",
+			st.WarmHits, st.WarmPuts, st.WarmCyclesSaved)
 	}
 	busy := 0
 	for _, w := range st.Workers {

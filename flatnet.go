@@ -179,6 +179,9 @@ var (
 	// RunClosedLoop executes a request-reply (remote-memory-access)
 	// workload with a per-node outstanding-request window.
 	RunClosedLoop = sim.RunClosedLoop
+	// Restore rebuilds a Network from a Network.Snapshot stream; the
+	// restored network continues bit-identically to the original.
+	Restore = sim.Restore
 )
 
 // Telemetry: router-pipeline probes, flit tracing and live metrics

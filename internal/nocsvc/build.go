@@ -5,6 +5,7 @@ import (
 	"flatnet/internal/routing"
 	"flatnet/internal/sim"
 	"flatnet/internal/topo"
+	"flatnet/internal/traffic"
 )
 
 // Session parameter defaults, applied by normalize.
@@ -34,6 +35,11 @@ func (p *OpenParams) normalize() {
 		p.Warmup = defaultWarmup
 	case p.Warmup < 0:
 		p.Warmup = 0
+	}
+	if p.Pattern == "" {
+		p.Pattern = "uniform"
+	} else if canon, ok := traffic.Canonical(p.Pattern); ok {
+		p.Pattern = canon
 	}
 }
 

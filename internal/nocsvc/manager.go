@@ -22,6 +22,14 @@ type manager struct {
 	nextID   int64
 	closed   bool
 
+	// Server-side checkpoint store: snapshots travel by id, never over
+	// the wire (a warmed network can exceed MaxLineBytes). The store is
+	// capped; taking a checkpoint past the cap evicts the oldest.
+	ckptMu    sync.Mutex
+	ckpts     map[string]*checkpointEntry
+	ckptOrder []string
+	nextCkpt  int64
+
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 
@@ -29,6 +37,14 @@ type manager struct {
 	rejects   atomic.Int64
 	evictions atomic.Int64
 	peak      atomic.Int64
+	clones    atomic.Int64
+}
+
+// checkpointEntry is one stored snapshot plus the session parameters
+// needed to rebuild its network around it.
+type checkpointEntry struct {
+	p    OpenParams
+	data []byte
 }
 
 func newManager(cfg ServerConfig) *manager {
@@ -36,6 +52,7 @@ func newManager(cfg ServerConfig) *manager {
 		cfg:         cfg,
 		slots:       make(chan struct{}, cfg.MaxSessions),
 		sessions:    make(map[string]*session),
+		ckpts:       make(map[string]*checkpointEntry),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
@@ -48,6 +65,41 @@ func newManager(cfg ServerConfig) *manager {
 // slot to free (a bounded queue of opens), then rejects with
 // CodeSessionLimit.
 func (m *manager) open(p OpenParams) (*session, *Error) {
+	s, perr := m.admitAndBuild(func(id string) (*session, *Error) {
+		return newSession(id, p, m.cfg.MaxNodes, m.cfg.MaxInflight, int64(m.cfg.EstimateBudget), m.cfg.DefaultWorkers)
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	m.opens.Add(1)
+	return s, nil
+}
+
+// clone admits a new session restored from a stored checkpoint, under
+// the same admission control as open. The clone skips warm-up entirely:
+// it starts at the checkpointed cycle, bit-identical to the session the
+// snapshot was taken from.
+func (m *manager) clone(ckptID string) (*session, *Error) {
+	e, perr := m.getCheckpoint(ckptID)
+	if perr != nil {
+		return nil, perr
+	}
+	s, perr := m.admitAndBuild(func(id string) (*session, *Error) {
+		return newSessionFromSnapshot(id, e.p, e.data, m.cfg.MaxNodes, m.cfg.MaxInflight, int64(m.cfg.EstimateBudget), m.cfg.DefaultWorkers)
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	m.opens.Add(1)
+	m.clones.Add(1)
+	return s, nil
+}
+
+// admitAndBuild runs the shared open/clone lifecycle: acquire a session
+// slot (waiting up to OpenWait), allocate an id, build via the supplied
+// constructor outside the table lock (opens of large networks must not
+// block estimates on other sessions), then install the session.
+func (m *manager) admitAndBuild(build func(id string) (*session, *Error)) (*session, *Error) {
 	select {
 	case m.slots <- struct{}{}:
 	default:
@@ -76,9 +128,7 @@ func (m *manager) open(p OpenParams) (*session, *Error) {
 	id := fmt.Sprintf("s%d", m.nextID)
 	m.mu.Unlock()
 
-	// Build and warm outside the table lock: opens of large networks must
-	// not block estimates on other sessions.
-	s, perr := newSession(id, p, m.cfg.MaxNodes, m.cfg.MaxInflight, int64(m.cfg.EstimateBudget), m.cfg.DefaultWorkers)
+	s, perr := build(id)
 	if perr != nil {
 		<-m.slots
 		return nil, perr
@@ -96,8 +146,43 @@ func (m *manager) open(p OpenParams) (*session, *Error) {
 		m.peak.Store(n)
 	}
 	m.mu.Unlock()
-	m.opens.Add(1)
 	return s, nil
+}
+
+// checkpoint stores a snapshot plus its session parameters and returns
+// the checkpoint id. The store is a capped FIFO: exceeding
+// MaxCheckpoints evicts the oldest entry.
+func (m *manager) checkpoint(p OpenParams, data []byte) string {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	m.nextCkpt++
+	id := fmt.Sprintf("c%d", m.nextCkpt)
+	m.ckpts[id] = &checkpointEntry{p: p, data: data}
+	m.ckptOrder = append(m.ckptOrder, id)
+	for len(m.ckptOrder) > m.cfg.MaxCheckpoints {
+		evict := m.ckptOrder[0]
+		m.ckptOrder = m.ckptOrder[1:]
+		delete(m.ckpts, evict)
+	}
+	return id
+}
+
+// getCheckpoint resolves a checkpoint id.
+func (m *manager) getCheckpoint(id string) (*checkpointEntry, *Error) {
+	m.ckptMu.Lock()
+	e := m.ckpts[id]
+	m.ckptMu.Unlock()
+	if e == nil {
+		return nil, errf(CodeNoCheckpoint, "no checkpoint %q (never taken, or evicted)", id)
+	}
+	return e, nil
+}
+
+// checkpointCount returns the number of stored checkpoints.
+func (m *manager) checkpointCount() int {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	return len(m.ckpts)
 }
 
 // lookup resolves a session id.

@@ -18,6 +18,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
+
+	"flatnet/internal/traffic"
 )
 
 // ProtocolVersion is the wire protocol version this package speaks.
@@ -47,6 +50,13 @@ const (
 	VerbBatch    = "batch_estimate"
 	VerbClose    = "close_session"
 	VerbStats    = "stats"
+	// VerbCheckpoint snapshots a session's warmed network into a
+	// server-side checkpoint store and returns the checkpoint's id.
+	VerbCheckpoint = "checkpoint_session"
+	// VerbClone opens a new session restored from a stored checkpoint,
+	// skipping the warm-up entirely. The clone is bit-identical to the
+	// checkpointed session at the moment of its snapshot.
+	VerbClone = "clone_session"
 )
 
 // Error codes carried in failure responses.
@@ -61,6 +71,9 @@ const (
 	// CodeNoSession marks an operation on a session id that does not exist
 	// (never opened, already closed, or evicted).
 	CodeNoSession = "no_session"
+	// CodeNoCheckpoint marks a clone_session naming a checkpoint id that
+	// does not exist (never taken, or evicted from the capped store).
+	CodeNoCheckpoint = "no_checkpoint"
 	// CodeSessionLimit marks an open_session rejected by admission control:
 	// the daemon is at its session cap and no slot freed within its grace.
 	CodeSessionLimit = "session_limit"
@@ -107,6 +120,8 @@ type Request struct {
 	Est *EstimateParams `json:"est,omitempty"`
 	// Batch carries batch_estimate items, answered in order.
 	Batch []EstimateParams `json:"batch,omitempty"`
+	// Checkpoint names the stored checkpoint for clone_session.
+	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
 // OpenParams describes the simulation a session serves estimates from.
@@ -131,9 +146,15 @@ type OpenParams struct {
 	// Seed drives every random stream of the session (default 1).
 	Seed uint64 `json:"seed,omitempty"`
 	// Load is the background offered load in flits per node per cycle,
-	// injected as uniform-random Bernoulli traffic under every estimate.
+	// injected as Pattern-shaped Bernoulli traffic under every estimate.
 	// 0 estimates against an idle network.
 	Load float64 `json:"load,omitempty"`
+	// Pattern names the background traffic's spatial pattern, validated
+	// against the internal/traffic registry: "uniform" (the default),
+	// "bitcomp", "transpose", "shuffle" or "randperm" (sweep-style short
+	// forms UR/BC/TP/SH/RP are accepted). Seeded patterns draw from the
+	// session's Seed.
+	Pattern string `json:"pattern,omitempty"`
 	// Warmup is how many cycles to advance the network at Load before the
 	// session serves its first estimate (default 1000; 0 uses the
 	// default, -1 disables warm-up).
@@ -187,9 +208,12 @@ type Response struct {
 	ID      int64  `json:"id"`
 	OK      bool   `json:"ok"`
 	Err     *Error `json:"err,omitempty"`
-	// Session echoes the opened session's id (open_session).
+	// Session echoes the opened session's id (open_session,
+	// clone_session) or the checkpointed one (checkpoint_session).
 	Session string       `json:"session,omitempty"`
 	Info    *SessionInfo `json:"info,omitempty"`
+	// Checkpoint carries the stored checkpoint's id (checkpoint_session).
+	Checkpoint string `json:"checkpoint,omitempty"`
 	// Est answers estimate; Batch answers batch_estimate in item order.
 	Est   *EstimateResult  `json:"est,omitempty"`
 	Batch []EstimateResult `json:"batch,omitempty"`
@@ -237,7 +261,7 @@ func DecodeRequest(line []byte) (Request, *Error) {
 		if req.Open == nil {
 			return req, errf(CodeBadRequest, "open_session requires open params")
 		}
-		if req.Session != "" || req.Est != nil || req.Batch != nil {
+		if req.Session != "" || req.Est != nil || req.Batch != nil || req.Checkpoint != "" {
 			return req, errf(CodeBadRequest, "open_session carries foreign params")
 		}
 		if perr := req.Open.validate(); perr != nil {
@@ -250,7 +274,7 @@ func DecodeRequest(line []byte) (Request, *Error) {
 		if req.Est == nil {
 			return req, errf(CodeBadRequest, "estimate requires est params")
 		}
-		if req.Open != nil || req.Batch != nil {
+		if req.Open != nil || req.Batch != nil || req.Checkpoint != "" {
 			return req, errf(CodeBadRequest, "estimate carries foreign params")
 		}
 		if perr := req.Est.validate(); perr != nil {
@@ -266,7 +290,7 @@ func DecodeRequest(line []byte) (Request, *Error) {
 		if len(req.Batch) > MaxBatch {
 			return req, errf(CodeBadRequest, "batch of %d exceeds the limit of %d", len(req.Batch), MaxBatch)
 		}
-		if req.Open != nil || req.Est != nil {
+		if req.Open != nil || req.Est != nil || req.Checkpoint != "" {
 			return req, errf(CodeBadRequest, "batch_estimate carries foreign params")
 		}
 		for i := range req.Batch {
@@ -278,12 +302,26 @@ func DecodeRequest(line []byte) (Request, *Error) {
 		if req.Session == "" {
 			return req, errf(CodeBadRequest, "close_session requires a session")
 		}
-		if req.Open != nil || req.Est != nil || req.Batch != nil {
+		if req.Open != nil || req.Est != nil || req.Batch != nil || req.Checkpoint != "" {
 			return req, errf(CodeBadRequest, "close_session carries foreign params")
 		}
 	case VerbStats:
-		if req.Open != nil || req.Est != nil || req.Batch != nil {
+		if req.Open != nil || req.Est != nil || req.Batch != nil || req.Checkpoint != "" {
 			return req, errf(CodeBadRequest, "stats carries foreign params")
+		}
+	case VerbCheckpoint:
+		if req.Session == "" {
+			return req, errf(CodeBadRequest, "checkpoint_session requires a session")
+		}
+		if req.Open != nil || req.Est != nil || req.Batch != nil || req.Checkpoint != "" {
+			return req, errf(CodeBadRequest, "checkpoint_session carries foreign params")
+		}
+	case VerbClone:
+		if req.Checkpoint == "" {
+			return req, errf(CodeBadRequest, "clone_session requires a checkpoint")
+		}
+		if req.Session != "" || req.Open != nil || req.Est != nil || req.Batch != nil {
+			return req, errf(CodeBadRequest, "clone_session carries foreign params")
 		}
 	case "":
 		return req, errf(CodeBadRequest, "missing verb")
@@ -326,6 +364,10 @@ func (p *OpenParams) validate() *Error {
 	}
 	if p.Workers < 0 || p.Workers > 256 {
 		return errf(CodeBadRequest, "open: workers %d out of [0,256]", p.Workers)
+	}
+	if p.Pattern != "" && !traffic.Known(p.Pattern) {
+		return errf(CodeBadRequest, "open: unknown pattern %q (have %s)",
+			p.Pattern, strings.Join(traffic.Names(), ", "))
 	}
 	return nil
 }

@@ -38,6 +38,9 @@ type ServerConfig struct {
 	// are bit-identical at every worker count, so this only changes
 	// wall-clock speed.
 	DefaultWorkers int
+	// MaxCheckpoints caps the server-side checkpoint store; taking a
+	// checkpoint past the cap evicts the oldest (default 16).
+	MaxCheckpoints int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -59,6 +62,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.DefaultWorkers <= 0 {
 		c.DefaultWorkers = 1
 	}
+	if c.MaxCheckpoints <= 0 {
+		c.MaxCheckpoints = 16
+	}
 	return c
 }
 
@@ -69,6 +75,8 @@ type ServerStats struct {
 	Opens        int64                     `json:"opens"`
 	OpenRejects  int64                     `json:"open_rejects"`
 	Evictions    int64                     `json:"evictions"`
+	Checkpoints  int                       `json:"checkpoints"`
+	Clones       int64                     `json:"clones"`
 	Requests     int64                     `json:"requests"`
 	Errors       int64                     `json:"errors"`
 	Estimates    int64                     `json:"estimates"`
@@ -115,6 +123,8 @@ func (s *Server) StatsSnapshot(detail bool) ServerStats {
 		Opens:        s.mgr.opens.Load(),
 		OpenRejects:  s.mgr.rejects.Load(),
 		Evictions:    s.mgr.evictions.Load(),
+		Checkpoints:  s.mgr.checkpointCount(),
+		Clones:       s.mgr.clones.Load(),
 		Requests:     s.requests.Value(),
 		Errors:       s.errs.Value(),
 		Estimates:    s.estimates.Value(),
@@ -330,6 +340,44 @@ func (s *Server) dispatch(req *Request, out *syncWriter, pending *sync.WaitGroup
 		if perr := sess.submit(c); perr != nil {
 			s.fail(out, id, perr, start)
 		}
+
+	case VerbCheckpoint:
+		sess, perr := s.mgr.lookup(req.Session)
+		if perr != nil {
+			s.fail(out, req.ID, perr, start)
+			return
+		}
+		id, sid := req.ID, req.Session
+		c := &cmd{
+			snapshot: true,
+			respondSnap: func(data []byte, perr *Error) {
+				if perr != nil {
+					s.fail(out, id, perr, start)
+					return
+				}
+				ckpt := s.mgr.checkpoint(sess.p, data)
+				out.send(&Response{ID: id, OK: true, Session: sid, Checkpoint: ckpt})
+				s.lat.Observe(time.Since(start))
+			},
+		}
+		if perr := sess.submit(c); perr != nil {
+			s.fail(out, id, perr, start)
+		}
+
+	case VerbClone:
+		id, ckpt := req.ID, req.Checkpoint
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			sess, perr := s.mgr.clone(ckpt)
+			if perr != nil {
+				s.fail(out, id, perr, start)
+				return
+			}
+			info := sess.info
+			out.send(&Response{ID: id, OK: true, Session: sess.id, Checkpoint: ckpt, Info: &info})
+			s.lat.Observe(time.Since(start))
+		}()
 
 	case VerbClose:
 		id, sid := req.ID, req.Session

@@ -1,6 +1,7 @@
 package nocsvc
 
 import (
+	"bytes"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,8 @@ type SessionStats struct {
 	Algorithm string  `json:"algorithm"`
 	Nodes     int     `json:"nodes"`
 	Load      float64 `json:"load"`
+	// Pattern is the background traffic's spatial pattern.
+	Pattern string `json:"pattern"`
 	// Workers is the cycle-core worker count the session runs with.
 	Workers int `json:"workers"`
 	// Cycles is how far the session's network has advanced.
@@ -34,11 +37,25 @@ type SessionStats struct {
 }
 
 // cmd is one unit of session work, submitted by a connection handler and
-// executed by the session's worker goroutine. respond is called exactly
-// once, from the worker (or the shutdown drain).
+// executed by the session's worker goroutine. Exactly one of respond
+// (estimates) or respondSnap (checkpoint_session) is set and is called
+// exactly once, from the worker (or the shutdown drain).
 type cmd struct {
-	items   []EstimateParams
-	respond func(results []EstimateResult, perr *Error)
+	items    []EstimateParams
+	snapshot bool
+	respond  func(results []EstimateResult, perr *Error)
+	// respondSnap receives the serialized network for snapshot commands.
+	respondSnap func(data []byte, perr *Error)
+}
+
+// fail answers the command with an error through whichever responder it
+// carries.
+func (c *cmd) fail(perr *Error) {
+	if c.snapshot {
+		c.respondSnap(nil, perr)
+		return
+	}
+	c.respond(nil, perr)
 }
 
 // session owns one warmed sim.Network and the single goroutine that may
@@ -75,13 +92,36 @@ type session struct {
 // validated and normalized. defaultWorkers is the server's cycle-core
 // worker count for sessions whose open did not name one.
 func newSession(id string, p OpenParams, maxNodes, maxInflight int, budget int64, defaultWorkers int) (*session, *Error) {
+	return buildSession(id, p, nil, maxNodes, maxInflight, budget, defaultWorkers)
+}
+
+// newSessionFromSnapshot builds a session whose network is restored
+// from a checkpoint instead of warmed from scratch: the clone starts at
+// the checkpointed cycle with every buffer, RNG stream and in-flight
+// flit intact, bit-identical to the session it was taken from.
+func newSessionFromSnapshot(id string, p OpenParams, snap []byte, maxNodes, maxInflight int, budget int64, defaultWorkers int) (*session, *Error) {
+	return buildSession(id, p, snap, maxNodes, maxInflight, budget, defaultWorkers)
+}
+
+// buildSession is the shared constructor: snap == nil builds cold and
+// warms; otherwise the network is restored from the snapshot bytes.
+func buildSession(id string, p OpenParams, snap []byte, maxNodes, maxInflight int, budget int64, defaultWorkers int) (*session, *Error) {
 	g, alg, cfg, perr := buildNetwork(p, maxNodes)
 	if perr != nil {
 		return nil, perr
 	}
-	n, err := sim.New(g, alg, cfg)
-	if err != nil {
-		return nil, errf(CodeBadRequest, "open: %v", err)
+	var n *sim.Network
+	var err error
+	if snap != nil {
+		n, err = sim.Restore(bytes.NewReader(snap), g, alg, cfg)
+		if err != nil {
+			return nil, errf(CodeInternal, "clone: %v", err)
+		}
+	} else {
+		n, err = sim.New(g, alg, cfg)
+		if err != nil {
+			return nil, errf(CodeBadRequest, "open: %v", err)
+		}
 	}
 	workers := p.Workers
 	if workers == 0 {
@@ -95,7 +135,14 @@ func newSession(id string, p OpenParams, maxNodes, maxInflight int, budget int64
 	} else {
 		workers = 1
 	}
-	n.SetPattern(traffic.NewUniform(g.NumNodes))
+	// Patterns are stateless and not part of a snapshot; the clone
+	// re-derives the same one from the (normalized) params.
+	pat, err := traffic.Build(p.Pattern, g.NumNodes, p.Seed)
+	if err != nil {
+		n.Close()
+		return nil, errf(CodeBadRequest, "open: pattern: %v", err)
+	}
+	n.SetPattern(pat)
 	s := &session{
 		id:      id,
 		p:       p,
@@ -115,8 +162,11 @@ func newSession(id string, p OpenParams, maxNodes, maxInflight int, budget int64
 		Algorithm:  alg.Name(),
 	}
 	s.touch()
-	s.warm()
+	if snap == nil {
+		s.warm()
+	}
 	s.info.WarmCycles = n.Cycle()
+	s.cycles.Store(n.Cycle())
 	go s.run()
 	return s, nil
 }
@@ -180,15 +230,32 @@ func (s *session) run() {
 	defer s.net.Close()
 	for c := range s.cmds {
 		if s.stopped() {
-			c.respond(nil, errf(CodeShutdown, "session %s shutting down", s.id))
+			c.fail(errf(CodeShutdown, "session %s shutting down", s.id))
 			continue
 		}
 		start := time.Now()
+		if c.snapshot {
+			data, perr := s.checkpoint()
+			s.busyNS.Add(time.Since(start).Nanoseconds())
+			c.respondSnap(data, perr)
+			continue
+		}
 		results, perr := s.handle(c)
 		s.busyNS.Add(time.Since(start).Nanoseconds())
 		s.cycles.Store(s.net.Cycle())
 		c.respond(results, perr)
 	}
+}
+
+// checkpoint serializes the session's network. It runs on the worker
+// between steps, so the snapshot captures a consistent state; estimates
+// queued behind it resume afterwards unaffected.
+func (s *session) checkpoint() ([]byte, *Error) {
+	var buf bytes.Buffer
+	if err := s.net.Snapshot(&buf); err != nil {
+		return nil, errf(CodeInternal, "checkpoint: %v", err)
+	}
+	return buf.Bytes(), nil
 }
 
 // warm advances the network through the session's warm-up window at the
@@ -273,6 +340,7 @@ func (s *session) stats(now time.Time) SessionStats {
 		Algorithm:    s.info.Algorithm,
 		Nodes:        s.info.Nodes,
 		Load:         s.p.Load,
+		Pattern:      s.p.Pattern,
 		Workers:      s.workers,
 		Cycles:       cycles,
 		CyclesPerSec: rate,

@@ -131,3 +131,19 @@ func (r *Source) Shuffle(n int, swap func(i, j int)) {
 func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
+
+// State returns the generator's raw xoshiro256** state, for
+// checkpointing. Restoring it with SetState resumes the stream exactly.
+func (r *Source) State() [4]uint64 {
+	return r.s
+}
+
+// SetState replaces the generator state with a value previously obtained
+// from State. An all-zero state is invalid for xoshiro256** and is
+// normalised to a minimal non-zero state rather than poisoning the stream.
+func (r *Source) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 1
+	}
+	r.s = s
+}

@@ -23,6 +23,10 @@ type ClosedLoopConfig struct {
 	// Warmup and Measure are windows in cycles; round trips completing
 	// during the measurement window are recorded.
 	Warmup, Measure int
+	// Workers partitions the cycle core across this many worker
+	// goroutines, as in RunConfig.Workers; results are bit-identical at
+	// every count. <= 1 (the default) runs sequentially.
+	Workers int
 }
 
 // ClosedLoopResult reports a closed-loop run.
@@ -60,6 +64,12 @@ func RunClosedLoop(g *topo.Graph, alg Algorithm, cfg Config, clc ClosedLoopConfi
 	n, err := New(g, alg, cfg)
 	if err != nil {
 		return ClosedLoopResult{}, err
+	}
+	defer n.Close()
+	if clc.Workers > 1 {
+		if err := n.SetWorkers(clc.Workers); err != nil {
+			return ClosedLoopResult{}, err
+		}
 	}
 
 	// Transactions are matched to packets at materialization: source

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"flatnet/internal/stats"
 	"flatnet/internal/telemetry"
@@ -13,6 +14,12 @@ import (
 // ErrStopped is returned (wrapped) when a run's Stop hook asks it to
 // abort before completing.
 var ErrStopped = errors.New("sim: run stopped")
+
+// ErrResume is returned (wrapped) when RunConfig.Resume is set but the
+// snapshot cannot be restored — corrupt bytes, a format-version skew, or
+// a mismatched topology/algorithm/config. Callers holding a cached
+// snapshot can match this error to discard it and rerun cold.
+var ErrResume = errors.New("sim: resume snapshot rejected")
 
 // stopPollMask throttles Stop polling to every 256 cycles so the hook
 // (which may read a clock) stays off the simulation hot path.
@@ -66,6 +73,23 @@ type RunConfig struct {
 	// probes, a tracer or Attach-installed checks fall back to
 	// sequential regardless.
 	Workers int
+	// Checkpoint, when non-nil, receives a snapshot of the warmed
+	// network (Network.Snapshot) the moment the measurement window
+	// opens — the point where all warm-up work is done but no measured
+	// packet exists yet. Resuming a run from that snapshot is
+	// bit-identical to running straight through, for any Measure and
+	// MaxCycles. Incompatible with Probes/Tracer/Attach-installed
+	// instrumentation (the snapshot would be unfaithful); the run
+	// fails with an error rather than writing one silently.
+	Checkpoint io.Writer
+	// Resume, when non-nil, restores the run's network from a snapshot
+	// (written by Checkpoint or Network.Snapshot) instead of building a
+	// cold one, then runs the remaining cycles. The snapshot must have
+	// been taken on the same topology, algorithm and Config — Restore
+	// validates and refuses mismatches. Warmup still defines the
+	// measurement window, so resuming a warm checkpoint skips straight
+	// to the measurement phase.
+	Resume io.Reader
 }
 
 // BurstConfig parameterizes on/off injection for RunLoadPoint.
@@ -117,9 +141,18 @@ func RunLoadPoint(g *topo.Graph, alg Algorithm, cfg Config, rc RunConfig) (LoadP
 	if maxCycles <= 0 {
 		maxCycles = 20 * (rc.Warmup + rc.Measure)
 	}
-	n, err := New(g, alg, cfg)
-	if err != nil {
-		return LoadPointResult{}, err
+	var n *Network
+	var err error
+	if rc.Resume != nil {
+		n, err = Restore(rc.Resume, g, alg, cfg)
+		if err != nil {
+			return LoadPointResult{}, fmt.Errorf("%w: %w", ErrResume, err)
+		}
+	} else {
+		n, err = New(g, alg, cfg)
+		if err != nil {
+			return LoadPointResult{}, err
+		}
 	}
 	defer n.Close()
 	if rc.Workers > 1 {
@@ -171,6 +204,14 @@ func RunLoadPoint(g *topo.Graph, alg Algorithm, cfg Config, rc RunConfig) (LoadP
 		}
 		n.Step()
 		c := n.Cycle()
+		if rc.Checkpoint != nil && c == measStart {
+			// Warm-up just finished: no measured packet has been created
+			// (the cycle-measStart generation happens next iteration), so
+			// the snapshot is reusable under any measurement length.
+			if err := n.Snapshot(rc.Checkpoint); err != nil {
+				return LoadPointResult{}, fmt.Errorf("sim: checkpoint at cycle %d: %w", c, err)
+			}
+		}
 		if c >= measEnd {
 			created, delivered := n.MeasuredCounts()
 			if delivered >= created {

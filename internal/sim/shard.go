@@ -183,10 +183,11 @@ func (n *Network) Close() {
 	n.pool.wg.Wait()
 }
 
-// startup freezes the partition at the first Step. The calendar, arena
-// and router worklists are provably empty here (events and packets only
-// exist inside Step), so only the source worklist bits need scattering
-// from the bootstrap shard.
+// startup freezes the partition at the first Step. For a freshly built
+// network the bootstrap calendar and router worklists are empty (events
+// and packets only exist inside Step); a network rebuilt by Restore
+// carries live calendar events, worklist bits and counters, all of which
+// partition() migrates to their owning shards.
 func (n *Network) startup() {
 	n.started = true
 	k := n.workers
@@ -250,6 +251,29 @@ func (n *Network) partition(k int) {
 			sh.activeS[li>>6] |= 1 << (li & 63)
 		}
 	}
+	// Migrate restored state (sim.Restore rebuilds into the bootstrap
+	// shard): router worklist bits, pending calendar events (per-slot
+	// order preserved, so the merge ordering argument above still holds),
+	// and lifetime injection counters, which stay summed on shard 0.
+	for r := 0; r < R; r++ {
+		if boot.activeR[r>>6]&(1<<(uint(r)&63)) != 0 {
+			sh := n.sh[n.shardOf[r]]
+			lr := uint(r - sh.r0)
+			sh.activeR[lr>>6] |= 1 << (lr & 63)
+		}
+	}
+	for slot := range boot.calendar {
+		for _, ev := range boot.calendar[slot] {
+			sh := n.sh[n.shardOf[ev.router]]
+			evs := sh.calendar[slot]
+			if len(evs) == cap(evs) {
+				evs = sh.arena.growEvents(evs)
+			}
+			sh.calendar[slot] = append(evs, ev)
+		}
+	}
+	n.sh[0].injected = boot.injected
+	n.sh[0].flitsInjected = boot.flitsInjected
 	n.par = true
 	n.pool.done = make(chan struct{}, k-1)
 	for _, sh := range n.sh[1:] {

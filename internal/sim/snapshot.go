@@ -1,0 +1,716 @@
+package sim
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"flatnet/internal/snapshot"
+	"flatnet/internal/topo"
+)
+
+// This file implements deterministic checkpoint/restore of a Network
+// (DESIGN.md §14). Snapshot serialises the complete simulation state
+// between Steps — router buffers and credits, calendar events, in-flight
+// packets, worklists, RNG streams, transfer maps, harness counters —
+// into the internal/snapshot container; Restore rebuilds an equivalent
+// Network such that restore-then-run is bit-identical to running the
+// original straight through, at any worker count on either side.
+//
+// The format is canonical: identical state always serialises to
+// identical bytes regardless of the snapshotted network's worker count.
+// Three normalisations make that hold:
+//
+//   - Packets are indexed in a fixed collection order (input buffers,
+//     then VC owners, then events, then source heads), so pointer
+//     identity never leaks into the stream.
+//   - Events are flattened across shards and outboxes, grouped by
+//     absolute due cycle; within a cycle, flit and credit events (whose
+//     processing order is immaterial — distinct FIFOs, commutative
+//     increments) precede deliveries, and deliveries are ordered by
+//     (scheduling cycle, shard), which is exactly the order the
+//     sequential calendar slot holds them in.
+//   - nextID is normalised to max(counter, largest live ID + 1), so a
+//     snapshot taken under the parallel ID keying (cycle·N + src)
+//     restores into a sequential network whose freshly minted IDs stay
+//     above every live one, preserving all age-arbiter comparisons.
+//
+// Restored state that is provably empty between Steps (delta sums,
+// request lists, deferred-delivery buffers, arena freelists) is simply
+// recomputed or left at its zero value.
+
+// Snapshot section tags, in stream order.
+const (
+	secDigest uint64 = iota + 1
+	secScalars
+	secPackets
+	secTransfers
+	secRouters
+	secSources
+	secEvents
+)
+
+// graphDigest fingerprints a topology's full channel structure so a
+// snapshot can refuse restoration onto a different graph.
+func graphDigest(g *topo.Graph) uint64 {
+	h := crc32.NewIEEE()
+	fmt.Fprintf(h, "%s|%d|%d|", g.Label, g.NumNodes, len(g.Routers))
+	for r := range g.Routers {
+		rd := &g.Routers[r]
+		fmt.Fprintf(h, "r%d/%d;", len(rd.In), len(rd.Out))
+		for p := range rd.In {
+			ip := &rd.In[p]
+			fmt.Fprintf(h, "i%d,%d,%d,%d;", ip.Kind, ip.Node, ip.Peer, ip.PeerPort)
+		}
+		for p := range rd.Out {
+			op := &rd.Out[p]
+			fmt.Fprintf(h, "o%d,%d,%d,%d,%d;", op.Kind, op.Node, op.Peer, op.PeerPort, op.Latency)
+		}
+	}
+	for i := 0; i < g.NumNodes; i++ {
+		fmt.Fprintf(h, "n%d,%d,%d,%d;", g.NodeRouter[i], g.EjRouter[i], g.InjPort[i], g.EjPort[i])
+	}
+	return uint64(h.Sum32())
+}
+
+// snapshotCaps derives allocation bounds for restore-side validation
+// from the topology: hostile length prefixes can never force an
+// allocation beyond what a real network of this shape could hold.
+func (n *Network) snapshotCaps() (maxEvents, maxPackets int) {
+	outPorts := 0
+	bufFlits := 0
+	for r := range n.routers {
+		outPorts += len(n.routers[r].out)
+		for p := range n.routers[r].in {
+			for v := range n.routers[r].in[p].vcs {
+				bufFlits += len(n.routers[r].in[p].vcs[v].buf)
+			}
+		}
+	}
+	// Per output channel: staged flits are credit/backlog bounded by the
+	// downstream buffering, and in-flight credits by the same. Deliveries
+	// are staged flits of terminal channels.
+	maxEvents = 2*n.cfg.BufPerPort*outPorts + 64
+	// Every live packet holds at least one flit in a buffer, an event, or
+	// a source's mid-injection slot.
+	maxPackets = bufFlits + maxEvents + len(n.sources) + 16
+	return maxEvents, maxPackets
+}
+
+// snapEvent is one calendar or outbox event tagged with its absolute due
+// cycle for canonical ordering.
+type snapEvent struct {
+	due   int64
+	sched int64 // deliveries: cycle the delivery was scheduled in
+	del   bool
+	ev    event
+}
+
+// Snapshot writes the network's complete state to w in the
+// internal/snapshot container format. It must be called between Steps
+// (never from inside a hook) and fails on instrumented networks: probes,
+// tracers and sanitizer checks hold unserialisable state, and their
+// runs force the sequential scheduler anyway — re-run those from cold.
+func (n *Network) Snapshot(w io.Writer) error {
+	if n.closed {
+		return fmt.Errorf("sim: cannot snapshot a closed network")
+	}
+	if n.probes != nil || n.tracer != nil || n.checks != nil {
+		return fmt.Errorf("sim: cannot snapshot an instrumented network (probes, tracer or checks attached)")
+	}
+	if n.stepAll {
+		return fmt.Errorf("sim: cannot snapshot in stepAll debug mode")
+	}
+
+	// Flatten every pending event (all shards' calendars, then staged
+	// cross-shard outboxes) and sort into the canonical order: due cycle,
+	// then flits/credits before deliveries, deliveries by scheduling
+	// cycle. The stable sort keeps per-shard chronological slot order,
+	// so deliveries land in exactly the sequential processing order.
+	var evs []snapEvent
+	for _, sh := range n.sh {
+		cl := int64(len(sh.calendar))
+		for delta := int64(0); delta < cl; delta++ {
+			slot := (n.cycle + delta) % cl
+			for _, ev := range sh.calendar[slot] {
+				se := snapEvent{due: n.cycle + delta, ev: ev}
+				if ev.kind == evDeliver {
+					se.del = true
+					se.sched = se.due - int64(ev.vc)
+				}
+				evs = append(evs, se)
+			}
+		}
+	}
+	for _, sh := range n.sh {
+		for _, box := range sh.outbox {
+			for _, x := range box {
+				evs = append(evs, snapEvent{due: x.at, ev: x.ev})
+			}
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].due != evs[j].due {
+			return evs[i].due < evs[j].due
+		}
+		if evs[i].del != evs[j].del {
+			return !evs[i].del
+		}
+		if evs[i].del {
+			return evs[i].sched < evs[j].sched
+		}
+		return false
+	})
+
+	// Index every live packet in collection order. The order is a pure
+	// function of simulation state, so identical states yield identical
+	// indices (and identical bytes) at any worker count.
+	pktIdx := make(map[*Packet]int)
+	var pkts []*Packet
+	addPkt := func(p *Packet) int {
+		if i, ok := pktIdx[p]; ok {
+			return i
+		}
+		i := len(pkts)
+		pktIdx[p] = i
+		pkts = append(pkts, p)
+		return i
+	}
+	for r := range n.routers {
+		rt := &n.routers[r]
+		for p := range rt.in {
+			ip := &rt.in[p]
+			for v := range ip.vcs {
+				q := &ip.vcs[v]
+				for k := 0; k < q.count; k++ {
+					addPkt(q.buf[(q.head+k)%len(q.buf)].pkt)
+				}
+			}
+		}
+		for p := range rt.out {
+			for _, o := range rt.out[p].owner {
+				if o != nil {
+					addPkt(o)
+				}
+			}
+		}
+	}
+	for i := range evs {
+		if p := evs[i].ev.pkt; p != nil {
+			addPkt(p)
+		}
+	}
+	for i := range n.sources {
+		if n.sources[i].cur != nil {
+			addPkt(n.sources[i].cur)
+		}
+	}
+
+	// Transfers, in (source backlog, then live packet) collection order.
+	xferIdx := make(map[*Transfer]int)
+	var xfers []*Transfer
+	addXfer := func(t *Transfer) int {
+		if t == nil {
+			return -1
+		}
+		if i, ok := xferIdx[t]; ok {
+			return i
+		}
+		i := len(xfers)
+		xferIdx[t] = i
+		xfers = append(xfers, t)
+		return i
+	}
+	for i := range n.sources {
+		s := &n.sources[i]
+		for k := s.head; k < len(s.q); k++ {
+			addXfer(s.q[k].xfer)
+		}
+	}
+	type livePair struct{ pkt, xfer int }
+	var pairs []livePair
+	for i, p := range pkts {
+		if t, ok := n.xfers[p]; ok {
+			pairs = append(pairs, livePair{pkt: i, xfer: addXfer(t)})
+		}
+	}
+
+	// nextID normalisation (see the file comment).
+	nextID := n.nextID
+	for _, p := range pkts {
+		if p.ID >= nextID {
+			nextID = p.ID + 1
+		}
+	}
+
+	sw := snapshot.NewWriter(w)
+
+	sw.Section(secDigest)
+	sw.String(n.alg.Name())
+	sw.Uvarint(uint64(n.vcs))
+	sw.Uvarint(uint64(n.vcDepth))
+	sw.U64(n.cfg.Seed)
+	sw.Varint(int64(n.cfg.BufPerPort))
+	sw.Varint(int64(n.cfg.Speedup))
+	sw.Varint(int64(n.cfg.PacketSize))
+	sw.Bool(n.cfg.AgeArbiter)
+	sw.Varint(int64(n.cfg.RouterDelay))
+	sw.Uvarint(uint64(len(n.routers)))
+	sw.Uvarint(uint64(n.g.NumNodes))
+	sw.U64(graphDigest(n.g))
+	sw.Varint(int64(n.maxLat))
+	sw.Varint(int64(n.calLen))
+
+	sw.Section(secScalars)
+	sw.Varint(n.cycle)
+	sw.Varint(nextID)
+	sw.Varint(n.deliveredTotal)
+	sw.Varint(n.flitsDelivered)
+	sw.Varint(n.measCreated)
+	sw.Varint(n.measDelivered)
+	sw.Varint(n.measStart)
+	sw.Varint(n.measEnd)
+	sw.Varint(n.statsStart)
+	var injected, flitsInjected int64
+	for _, sh := range n.sh {
+		injected += sh.injected
+		flitsInjected += sh.flitsInjected
+	}
+	sw.Varint(injected)
+	sw.Varint(flitsInjected)
+
+	sw.Section(secPackets)
+	sw.Uvarint(uint64(len(pkts)))
+	for _, p := range pkts {
+		sw.Varint(p.ID)
+		sw.Uvarint(uint64(p.Src))
+		sw.Uvarint(uint64(p.Dst))
+		sw.Varint(int64(p.Phase))
+		sw.Varint(int64(p.Inter))
+		sw.Uvarint(uint64(p.DimMask))
+		sw.Varint(int64(p.Hops))
+		sw.Varint(p.InjectCycle)
+		sw.Varint(p.NetworkCycle)
+		sw.Bool(p.Measured)
+	}
+
+	sw.Section(secTransfers)
+	sw.Uvarint(uint64(len(xfers)))
+	for _, t := range xfers {
+		sw.Uvarint(uint64(t.src))
+		sw.Uvarint(uint64(t.dst))
+		sw.Varint(int64(t.packets))
+		sw.Varint(t.start)
+		sw.Varint(int64(t.delivered))
+		sw.Varint(t.lastCycle)
+		sw.Varint(int64(t.lastHops))
+	}
+	sw.Uvarint(uint64(len(pairs)))
+	for _, pr := range pairs {
+		sw.Uvarint(uint64(pr.pkt))
+		sw.Uvarint(uint64(pr.xfer))
+	}
+
+	sw.Section(secRouters)
+	for r := range n.routers {
+		rt := &n.routers[r]
+		st := rt.rng.State()
+		for _, word := range st {
+			sw.U64(word)
+		}
+		for p := range rt.in {
+			ip := &rt.in[p]
+			for v := range ip.vcs {
+				q := &ip.vcs[v]
+				sw.Uvarint(uint64(q.count))
+				for k := 0; k < q.count; k++ {
+					f := q.buf[(q.head+k)%len(q.buf)]
+					sw.Uvarint(uint64(pktIdx[f.pkt]))
+					sw.Bool(f.tail)
+				}
+				sw.Bool(q.routed)
+				sw.Bool(q.headSent)
+				if q.routed {
+					sw.Uvarint(uint64(q.out.Port))
+					sw.Uvarint(uint64(q.out.VC))
+				}
+			}
+		}
+		for p := range rt.out {
+			op := &rt.out[p]
+			switch op.kind {
+			case topo.Network:
+				for v := 0; v < n.vcs; v++ {
+					sw.Varint(int64(op.credits[v]))
+					sw.Varint(int64(op.pending[v]))
+					if op.owner[v] != nil {
+						sw.Varint(int64(pktIdx[op.owner[v]]))
+					} else {
+						sw.Varint(-1)
+					}
+				}
+			case topo.Terminal:
+				for v := 0; v < n.vcs; v++ {
+					sw.Varint(int64(op.pending[v]))
+				}
+			default:
+				continue // Unused ports carry no state
+			}
+			sw.Varint(int64(op.rr))
+			sw.Varint(op.nextFree)
+			sw.Varint(op.flitsSent)
+		}
+	}
+
+	sw.Section(secSources)
+	for i := range n.sources {
+		s := &n.sources[i]
+		st := s.rng.State()
+		for _, word := range st {
+			sw.U64(word)
+		}
+		sw.Bool(s.burstOn)
+		if s.cur != nil {
+			sw.Varint(int64(pktIdx[s.cur]))
+		} else {
+			sw.Varint(-1)
+		}
+		sw.Varint(int64(s.remaining))
+		sw.Uvarint(uint64(s.backlogLen()))
+		for k := s.head; k < len(s.q); k++ {
+			a := &s.q[k]
+			sw.Varint(a.ts)
+			sw.Varint(int64(a.dst))
+			sw.Bool(a.hasDst)
+			sw.Varint(int64(addXfer(a.xfer)))
+		}
+	}
+
+	sw.Section(secEvents)
+	sw.Uvarint(uint64(len(evs)))
+	for i := range evs {
+		se := &evs[i]
+		sw.Uvarint(uint64(se.due - n.cycle))
+		sw.Uvarint(uint64(se.ev.kind))
+		sw.Bool(se.ev.tail)
+		sw.Varint(int64(se.ev.vc))
+		sw.Uvarint(uint64(se.ev.router))
+		sw.Varint(int64(se.ev.port))
+		if se.ev.pkt != nil {
+			sw.Varint(int64(pktIdx[se.ev.pkt]))
+		} else {
+			sw.Varint(-1)
+		}
+	}
+
+	return sw.Close()
+}
+
+// Restore rebuilds a Network from a snapshot written by Snapshot. The
+// caller supplies the same topology, algorithm and configuration the
+// snapshotted network was built with (they are validated against the
+// snapshot's digest — restoring onto mismatched structure is an error,
+// never a silent misread). The returned network has not Stepped yet:
+// SetWorkers may still partition it, and stepping it forward produces
+// results bit-identical to stepping the original.
+//
+// Traffic patterns and hooks are not part of a snapshot; re-install
+// them (SetPattern, OnDeliver, ...) before stepping, as New's callers
+// do.
+func Restore(rd io.Reader, g *topo.Graph, alg Algorithm, cfg Config) (*Network, error) {
+	r, err := snapshot.NewReader(rd)
+	if err != nil {
+		return nil, err
+	}
+	n, err := New(g, alg, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	r.Section(secDigest)
+	check := func(what string, got, want int64) {
+		if r.Err() == nil && got != want {
+			err = fmt.Errorf("sim: snapshot mismatch: %s is %d, this network has %d", what, got, want)
+		}
+	}
+	if name := r.String(); r.Err() == nil && name != n.alg.Name() {
+		err = fmt.Errorf("sim: snapshot was taken with algorithm %q, not %q", name, n.alg.Name())
+	}
+	check("vcs", int64(r.Uvarint()), int64(n.vcs))
+	check("vc depth", int64(r.Uvarint()), int64(n.vcDepth))
+	if seed := r.U64(); r.Err() == nil && seed != n.cfg.Seed {
+		err = fmt.Errorf("sim: snapshot was taken with seed %d, not %d", seed, n.cfg.Seed)
+	}
+	check("BufPerPort", r.Varint(), int64(n.cfg.BufPerPort))
+	check("Speedup", r.Varint(), int64(n.cfg.Speedup))
+	check("PacketSize", r.Varint(), int64(n.cfg.PacketSize))
+	if age := r.Bool(); r.Err() == nil && age != n.cfg.AgeArbiter {
+		err = fmt.Errorf("sim: snapshot AgeArbiter=%v does not match", age)
+	}
+	check("RouterDelay", r.Varint(), int64(n.cfg.RouterDelay))
+	check("router count", int64(r.Uvarint()), int64(len(n.routers)))
+	check("node count", int64(r.Uvarint()), int64(g.NumNodes))
+	if d := r.U64(); r.Err() == nil && d != graphDigest(g) {
+		err = fmt.Errorf("sim: snapshot topology digest %#x does not match graph %q", d, g.Label)
+	}
+	check("max latency", r.Varint(), int64(n.maxLat))
+	check("calendar length", r.Varint(), int64(n.calLen))
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	r.Section(secScalars)
+	n.cycle = r.Varint()
+	n.nextID = r.Varint()
+	n.deliveredTotal = r.Varint()
+	n.flitsDelivered = r.Varint()
+	n.measCreated = r.Varint()
+	n.measDelivered = r.Varint()
+	n.measStart = r.Varint()
+	n.measEnd = r.Varint()
+	n.statsStart = r.Varint()
+	sh := n.sh[0]
+	sh.injected = r.Varint()
+	sh.flitsInjected = r.Varint()
+	if r.Err() == nil && (n.cycle < 0 || n.nextID < 0 || n.deliveredTotal < 0 ||
+		n.flitsDelivered < 0 || n.measCreated < 0 || n.measDelivered < 0 ||
+		sh.injected < 0 || sh.flitsInjected < 0) {
+		return nil, fmt.Errorf("sim: snapshot has a negative scalar counter")
+	}
+
+	maxEvents, maxPackets := n.snapshotCaps()
+
+	r.Section(secPackets)
+	npkt := r.Count(maxPackets, "packet")
+	pkts := make([]*Packet, npkt)
+	for i := 0; i < npkt; i++ {
+		p := &Packet{}
+		p.ID = r.Varint()
+		p.Src = topo.NodeID(r.Count(g.NumNodes-1, "packet source"))
+		p.Dst = topo.NodeID(r.Count(g.NumNodes-1, "packet destination"))
+		p.Phase = int8(r.Varint())
+		p.Inter = int32(r.Varint())
+		p.DimMask = uint32(r.Uvarint())
+		p.Hops = int(r.Varint())
+		p.InjectCycle = r.Varint()
+		p.NetworkCycle = r.Varint()
+		p.Measured = r.Bool()
+		if r.Err() == nil && (p.Inter < -1 || p.Hops < 0) {
+			return nil, fmt.Errorf("sim: snapshot packet %d has invalid routing state", i)
+		}
+		pkts[i] = p
+	}
+	pktAt := func(what string) *Packet {
+		i := r.Count(npkt-1, what)
+		if r.Err() != nil {
+			return nil
+		}
+		return pkts[i]
+	}
+	optPkt := func(what string) *Packet {
+		v := r.Varint()
+		if r.Err() != nil || v == -1 {
+			return nil
+		}
+		if v < 0 || v >= int64(npkt) {
+			if r.Err() == nil {
+				err = fmt.Errorf("sim: snapshot %s index %d out of range", what, v)
+			}
+			return nil
+		}
+		return pkts[v]
+	}
+
+	r.Section(secTransfers)
+	nx := r.Count(maxPackets+(1<<20), "transfer")
+	xfers := make([]*Transfer, 0, min(nx, 4096))
+	for i := 0; i < nx; i++ {
+		t := &Transfer{}
+		t.src = topo.NodeID(r.Count(g.NumNodes-1, "transfer source"))
+		t.dst = topo.NodeID(r.Count(g.NumNodes-1, "transfer destination"))
+		t.packets = int(r.Varint())
+		t.start = r.Varint()
+		t.delivered = int(r.Varint())
+		t.lastCycle = r.Varint()
+		t.lastHops = int(r.Varint())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		xfers = append(xfers, t)
+	}
+	npairs := r.Count(npkt, "live transfer pair")
+	for i := 0; i < npairs; i++ {
+		p := pktAt("transfer packet")
+		x := r.Count(nx-1, "transfer")
+		if r.Err() != nil {
+			break
+		}
+		n.registerTransfer(p, xfers[x])
+	}
+
+	r.Section(secRouters)
+	for ri := range n.routers {
+		rt := &n.routers[ri]
+		var st [4]uint64
+		for w := range st {
+			st[w] = r.U64()
+		}
+		rt.rng.SetState(st)
+		for p := range rt.in {
+			ip := &rt.in[p]
+			for v := range ip.vcs {
+				q := &ip.vcs[v]
+				cnt := r.Count(len(q.buf), "buffered flit")
+				for k := 0; k < cnt; k++ {
+					pk := pktAt("buffered packet")
+					tail := r.Bool()
+					if r.Err() != nil {
+						return nil, r.Err()
+					}
+					q.push(flit{pkt: pk, tail: tail})
+				}
+				q.routed = r.Bool()
+				q.headSent = r.Bool()
+				if q.routed {
+					q.out.Port = r.Count(len(rt.out)-1, "routed output port")
+					q.out.VC = r.Count(n.vcs-1, "routed output VC")
+				}
+				if !q.empty() {
+					sh.wakeVC(rt, ip, v)
+				}
+			}
+		}
+		for p := range rt.out {
+			op := &rt.out[p]
+			switch op.kind {
+			case topo.Network:
+				for v := 0; v < n.vcs; v++ {
+					op.credits[v] = int(r.Varint())
+					op.pending[v] = int(r.Varint())
+					op.owner[v] = optPkt("VC owner")
+					if r.Err() == nil && (op.credits[v] < 0 || op.credits[v] > n.vcDepth || op.pending[v] < 0) {
+						return nil, fmt.Errorf("sim: snapshot router %d out %d vc %d has invalid flow-control state", ri, p, v)
+					}
+					op.pendingSum += op.pending[v]
+				}
+			case topo.Terminal:
+				for v := 0; v < n.vcs; v++ {
+					op.pending[v] = int(r.Varint())
+					if r.Err() == nil && op.pending[v] < 0 {
+						return nil, fmt.Errorf("sim: snapshot router %d out %d vc %d has negative pending", ri, p, v)
+					}
+					op.pendingSum += op.pending[v]
+				}
+			default:
+				continue
+			}
+			op.rr = int(r.Varint())
+			op.nextFree = r.Varint()
+			op.flitsSent = r.Varint()
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+
+	r.Section(secSources)
+	for i := range n.sources {
+		s := &n.sources[i]
+		var st [4]uint64
+		for w := range st {
+			st[w] = r.U64()
+		}
+		s.rng.SetState(st)
+		s.burstOn = r.Bool()
+		s.cur = optPkt("mid-injection packet")
+		s.remaining = int(r.Varint())
+		if r.Err() == nil && (s.remaining < 0 || s.remaining > n.cfg.PacketSize) {
+			return nil, fmt.Errorf("sim: snapshot source %d has invalid flit remainder %d", i, s.remaining)
+		}
+		nb := r.Count(1<<30, "backlog arrival")
+		for k := 0; k < nb; k++ {
+			var a arrival
+			a.ts = r.Varint()
+			a.dst = topo.NodeID(r.Varint())
+			a.hasDst = r.Bool()
+			xi := r.Varint()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if a.hasDst && (int(a.dst) < 0 || int(a.dst) >= g.NumNodes) {
+				return nil, fmt.Errorf("sim: snapshot source %d backlog destination %d out of range", i, a.dst)
+			}
+			if xi >= 0 {
+				if xi >= int64(nx) {
+					return nil, fmt.Errorf("sim: snapshot source %d backlog transfer index %d out of range", i, xi)
+				}
+				a.xfer = xfers[xi]
+			}
+			s.push(a)
+		}
+		if s.cur != nil || s.backlogLen() > 0 {
+			n.wakeSource(i)
+		}
+	}
+
+	r.Section(secEvents)
+	nev := r.Count(maxEvents, "event")
+	for k := 0; k < nev; k++ {
+		delta := r.Count(n.calLen-1, "event due delta")
+		kind := r.Uvarint()
+		var ev event
+		ev.kind = uint8(kind)
+		ev.tail = r.Bool()
+		ev.vc = int32(r.Varint())
+		ev.router = int32(r.Count(len(n.routers)-1, "event router"))
+		ev.port = int32(r.Varint())
+		ev.pkt = optPkt("event packet")
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if err != nil {
+			return nil, err
+		}
+		rt := &n.routers[ev.router]
+		switch ev.kind {
+		case evFlit:
+			if int(ev.port) < 0 || int(ev.port) >= len(rt.in) ||
+				int(ev.vc) < 0 || int(ev.vc) >= len(rt.in[ev.port].vcs) || ev.pkt == nil {
+				return nil, fmt.Errorf("sim: snapshot flit event %d is malformed", k)
+			}
+		case evCredit:
+			if int(ev.port) < 0 || int(ev.port) >= len(rt.out) ||
+				rt.out[ev.port].credits == nil ||
+				int(ev.vc) < 0 || int(ev.vc) >= n.vcs || ev.pkt != nil {
+				return nil, fmt.Errorf("sim: snapshot credit event %d is malformed", k)
+			}
+		case evDeliver:
+			// vc carries the scheduling delay for deliveries; it only
+			// orders the parallel merge, so bound it to the calendar ring.
+			if int(ev.port) < 0 || int(ev.port) >= len(rt.out) ||
+				rt.out[ev.port].kind != topo.Terminal ||
+				ev.vc < 0 || int(ev.vc) >= n.calLen || ev.pkt == nil {
+				return nil, fmt.Errorf("sim: snapshot delivery event %d is malformed", k)
+			}
+		default:
+			return nil, fmt.Errorf("sim: snapshot event %d has unknown kind %d", k, kind)
+		}
+		slot := (n.cycle + int64(delta)) % int64(n.calLen)
+		evsl := sh.calendar[slot]
+		if len(evsl) == cap(evsl) {
+			evsl = sh.arena.growEvents(evsl)
+		}
+		sh.calendar[slot] = append(evsl, ev)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,440 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"flatnet/internal/core"
+	"flatnet/internal/routing"
+	"flatnet/internal/sim"
+	"flatnet/internal/traffic"
+)
+
+// snapCounters is the bookkeeping surface compared between a
+// straight-through run and its restored twin.
+type snapCounters struct {
+	inj, del, fin, fdel, mc, md int64
+	cycle                       int64
+	pendingXfers                int
+}
+
+func readCounters(n *sim.Network) snapCounters {
+	var c snapCounters
+	c.inj, c.del = n.Totals()
+	c.fin, c.fdel = n.FlitTotals()
+	c.mc, c.md = n.MeasuredCounts()
+	c.cycle = n.Cycle()
+	c.pendingXfers = n.PendingTransfers()
+	return c
+}
+
+func recordInto(out *[]delivery) func(p *sim.Packet, cycle int64) {
+	return func(p *sim.Packet, cycle int64) {
+		*out = append(*out, delivery{
+			cycle: cycle, src: int(p.Src), dst: int(p.Dst),
+			inject: p.InjectCycle, hops: p.Hops,
+		})
+	}
+}
+
+// runSnapshotPair runs one network straight through (snapshotting the
+// moment warm-up ends) and a twin restored from that snapshot, then
+// requires the post-snapshot delivery streams, counters and re-snapshot
+// bytes to agree exactly. snapW/resW choose the worker counts on either
+// side: restore-then-run must be bit-identical for every combination.
+func runSnapshotPair(t *testing.T, ff *core.FlatFly, algName string, cfg sim.Config, load float64, warm, tail, snapW, resW int) {
+	t.Helper()
+	label := algName
+
+	newAlg := func() sim.Algorithm {
+		alg, err := routing.NewFlatFlyAlgorithm(algName, ff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alg
+	}
+	alg := newAlg()
+	if cfg.BufPerPort < alg.NumVCs()*cfg.PacketSize {
+		cfg.BufPerPort = alg.NumVCs() * cfg.PacketSize
+	}
+	measStart, measEnd := int64(warm), int64(warm+tail/2)
+
+	// Reference: run straight through, snapshotting at the warm point.
+	a, err := sim.New(ff.Graph(), alg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.SetWorkers(snapW); err != nil {
+		t.Fatal(err)
+	}
+	a.SetPattern(traffic.NewUniform(a.NumNodes()))
+	a.SetMeasurementWindow(measStart, measEnd)
+	var aTail []delivery
+	a.OnDeliver(recordInto(&aTail))
+	for i := 0; i < warm; i++ {
+		a.GenerateBernoulli(load)
+		a.Step()
+	}
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatalf("%s: snapshot: %v", label, err)
+	}
+	aTail = aTail[:0]
+	for i := 0; i < tail; i++ {
+		a.GenerateBernoulli(load)
+		a.Step()
+	}
+	for i := 0; i < 20000 && !a.Quiescent(); i++ {
+		a.Step()
+	}
+	if !a.Quiescent() {
+		t.Fatalf("%s: reference did not drain", label)
+	}
+	aC := readCounters(a)
+
+	// Twin: restore, then run the identical post-snapshot schedule.
+	b, err := sim.Restore(bytes.NewReader(buf.Bytes()), ff.Graph(), newAlg(), cfg)
+	if err != nil {
+		t.Fatalf("%s: restore: %v", label, err)
+	}
+	defer b.Close()
+	var resnap bytes.Buffer
+	if err := b.Snapshot(&resnap); err != nil {
+		t.Fatalf("%s: re-snapshot: %v", label, err)
+	}
+	if !bytes.Equal(buf.Bytes(), resnap.Bytes()) {
+		t.Fatalf("%s: restore-then-snapshot is not byte-identical (%d vs %d bytes)",
+			label, buf.Len(), resnap.Len())
+	}
+	if err := b.SetWorkers(resW); err != nil {
+		t.Fatal(err)
+	}
+	b.SetPattern(traffic.NewUniform(b.NumNodes()))
+	var bTail []delivery
+	b.OnDeliver(recordInto(&bTail))
+	for i := 0; i < tail; i++ {
+		b.GenerateBernoulli(load)
+		b.Step()
+	}
+	for i := 0; i < 20000 && !b.Quiescent(); i++ {
+		b.Step()
+	}
+	if !b.Quiescent() {
+		t.Fatalf("%s: restored network did not drain", label)
+	}
+	diffDeliveries(t, aTail, bTail, label)
+	if bC := readCounters(b); bC != aC {
+		t.Fatalf("%s (snapW=%d resW=%d): counters diverged:\n  straight: %+v\n  restored: %+v",
+			label, snapW, resW, aC, bC)
+	}
+}
+
+// TestSnapshotRoundTrip is the tentpole guarantee: restore-then-run is
+// bit-identical to run-straight-through across router configurations
+// (multi-flit wormhole, age arbitration, pipelined routers) and every
+// combination of snapshot-side and restore-side worker counts.
+func TestSnapshotRoundTrip(t *testing.T) {
+	ff, err := core.NewFlatFly(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []struct {
+		name string
+		alg  string
+		cfg  sim.Config
+	}{
+		{"default", "ugal-s", sim.DefaultConfig()},
+		{"multiflit", "clos", sim.Config{Seed: 3, BufPerPort: 32, PacketSize: 4}},
+		{"age", "min", sim.Config{Seed: 5, BufPerPort: 16, PacketSize: 2, AgeArbiter: true}},
+		{"pipelined", "val", sim.Config{Seed: 9, BufPerPort: 32, RouterDelay: 2}},
+	}
+	combos := [][2]int{{1, 1}, {1, 4}, {4, 1}, {4, 4}}
+	for _, c := range cfgs {
+		for _, w := range combos {
+			t.Run(c.name, func(t *testing.T) {
+				runSnapshotPair(t, ff, c.alg, c.cfg, 0.4, 150, 150, w[0], w[1])
+			})
+		}
+	}
+}
+
+// TestSnapshotWithTransfersAndBursts covers the harder state: bursty
+// (two-state Markov) injection mid-burst, an in-flight StartTransfer
+// burst, and source backlog, all captured and resumed exactly.
+func TestSnapshotWithTransfersAndBursts(t *testing.T) {
+	ff, err := core.NewFlatFly(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := routing.NewFlatFlyAlgorithm("ugal", ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.PacketSize = 2
+
+	run := func(n *sim.Network, cycles int, out *[]delivery) {
+		for i := 0; i < cycles; i++ {
+			if err := n.GenerateOnOff(0.3, 0.8, 20); err != nil {
+				t.Fatal(err)
+			}
+			n.Step()
+		}
+	}
+
+	a, err := sim.New(ff.Graph(), alg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.SetPattern(traffic.NewUniform(a.NumNodes()))
+	var aTail []delivery
+	a.OnDeliver(recordInto(&aTail))
+	run(a, 100, &aTail)
+	if _, err := a.StartTransfer(0, 13, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.StartTransfer(7, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	run(a, 3, &aTail) // leave the transfers mid-flight
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	aTail = aTail[:0]
+	run(a, 200, &aTail)
+
+	alg2, err := routing.NewFlatFlyAlgorithm("ugal", ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Restore(bytes.NewReader(buf.Bytes()), ff.Graph(), alg2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.PendingTransfers() == 0 && b.Backlog() == 0 {
+		t.Fatal("expected restored transfer packets in flight or backlogged")
+	}
+	b.SetPattern(traffic.NewUniform(b.NumNodes()))
+	var bTail []delivery
+	b.OnDeliver(recordInto(&bTail))
+	run(b, 200, &bTail)
+	diffDeliveries(t, aTail, bTail, "transfers+bursts")
+	if a.PendingTransfers() != b.PendingTransfers() {
+		t.Fatalf("pending transfers diverged: %d vs %d", a.PendingTransfers(), b.PendingTransfers())
+	}
+}
+
+// TestSnapshotRejects pins the refusal surface: instrumented or closed
+// networks cannot snapshot, and mismatched restore targets are errors.
+func TestSnapshotRejects(t *testing.T) {
+	ff, err := core.NewFlatFly(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := routing.NewFlatFlyAlgorithm("min", ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probed, err := sim.New(ff.Graph(), alg, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probed.Close()
+	probed.AttachProbes(sim.ProbeConfig{})
+	if err := probed.Snapshot(&bytes.Buffer{}); err == nil {
+		t.Fatal("snapshot of a probed network should fail")
+	}
+
+	n, err := sim.New(ff.Graph(), alg, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetPattern(traffic.NewUniform(n.NumNodes()))
+	for i := 0; i < 50; i++ {
+		n.GenerateBernoulli(0.3)
+		n.Step()
+	}
+	var buf bytes.Buffer
+	if err := n.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	if err := n.Snapshot(&bytes.Buffer{}); err == nil {
+		t.Fatal("snapshot of a closed network should fail")
+	}
+
+	// Wrong seed.
+	badCfg := sim.DefaultConfig()
+	badCfg.Seed = 999
+	if _, err := sim.Restore(bytes.NewReader(buf.Bytes()), ff.Graph(), alg, badCfg); err == nil {
+		t.Fatal("restore with a different seed should fail")
+	}
+	// Wrong algorithm.
+	val, err := routing.NewFlatFlyAlgorithm("val", ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Restore(bytes.NewReader(buf.Bytes()), ff.Graph(), val, sim.DefaultConfig()); err == nil {
+		t.Fatal("restore with a different algorithm should fail")
+	}
+	// Wrong topology.
+	ff2, err := core.NewFlatFly(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg2, err := routing.NewFlatFlyAlgorithm("min", ff2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Restore(bytes.NewReader(buf.Bytes()), ff2.Graph(), alg2, sim.DefaultConfig()); err == nil {
+		t.Fatal("restore onto a different topology should fail")
+	}
+}
+
+// TestSnapshotCorruptionRobust requires every single-byte corruption and
+// every truncation of a valid snapshot to surface as an error — never a
+// panic, never a silently-wrong network.
+func TestSnapshotCorruptionRobust(t *testing.T) {
+	ff, err := core.NewFlatFly(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := routing.NewFlatFlyAlgorithm("ugal-s", ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	n, err := sim.New(ff.Graph(), alg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.SetPattern(traffic.NewUniform(n.NumNodes()))
+	for i := 0; i < 80; i++ {
+		n.GenerateBernoulli(0.5)
+		n.Step()
+	}
+	var buf bytes.Buffer
+	if err := n.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x5a
+		if _, err := sim.Restore(bytes.NewReader(mut), ff.Graph(), alg, cfg); err == nil {
+			t.Fatalf("corrupting byte %d of %d went undetected", i, len(data))
+		}
+	}
+	for l := 0; l < len(data); l += 7 {
+		if _, err := sim.Restore(bytes.NewReader(data[:l]), ff.Graph(), alg, cfg); err == nil {
+			t.Fatalf("truncation to %d of %d bytes went undetected", l, len(data))
+		}
+	}
+}
+
+// FuzzSnapshotRoundTrip fuzzes simulator configurations and requires
+// (1) restore-then-run to match run-straight-through exactly, and
+// (2) arbitrarily corrupted snapshot bytes to fail with an error
+// instead of panicking or hanging.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(40), uint8(0), uint8(0), uint8(0), []byte{})
+	f.Add(uint64(2), uint8(80), uint8(3), uint8(1), uint8(5), []byte{1, 2, 3})
+	f.Add(uint64(3), uint8(60), uint8(1), uint8(2), uint8(7), []byte{0xff, 0x80})
+	f.Fuzz(func(t *testing.T, seed uint64, loadPct, algSel, workSel, extra uint8, corrupt []byte) {
+		ff, err := core.NewFlatFly(2+int(extra)%2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		algs := []string{"min", "val", "ugal", "ugal-s", "clos"}
+		algName := algs[int(algSel)%len(algs)]
+		ps := 1 + int(extra>>2)%3
+		cfg := sim.Config{
+			Seed:        seed,
+			BufPerPort:  8 * ps,
+			PacketSize:  ps,
+			AgeArbiter:  extra&1 != 0,
+			RouterDelay: int(extra>>1) % 2,
+		}
+		load := float64(int(loadPct)%101) / 100
+		snapW := 1 + int(workSel)%3
+		resW := 1 + int(workSel>>2)%3
+		newAlg := func() sim.Algorithm {
+			alg, err := routing.NewFlatFlyAlgorithm(algName, ff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return alg
+		}
+		alg := newAlg()
+		if cfg.BufPerPort < alg.NumVCs()*cfg.PacketSize {
+			cfg.BufPerPort = alg.NumVCs() * cfg.PacketSize
+		}
+
+		a, err := sim.New(ff.Graph(), alg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		if err := a.SetWorkers(snapW); err != nil {
+			t.Fatal(err)
+		}
+		a.SetPattern(traffic.NewUniform(a.NumNodes()))
+		var aTail []delivery
+		a.OnDeliver(recordInto(&aTail))
+		for i := 0; i < 60; i++ {
+			a.GenerateBernoulli(load)
+			a.Step()
+		}
+		var buf bytes.Buffer
+		if err := a.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		aTail = aTail[:0]
+		for i := 0; i < 60; i++ {
+			a.GenerateBernoulli(load)
+			a.Step()
+		}
+
+		b, err := sim.Restore(bytes.NewReader(buf.Bytes()), ff.Graph(), newAlg(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		if err := b.SetWorkers(resW); err != nil {
+			t.Fatal(err)
+		}
+		b.SetPattern(traffic.NewUniform(b.NumNodes()))
+		var bTail []delivery
+		b.OnDeliver(recordInto(&bTail))
+		for i := 0; i < 60; i++ {
+			b.GenerateBernoulli(load)
+			b.Step()
+		}
+		diffDeliveries(t, aTail, bTail, algName)
+
+		// Corruption robustness: apply the fuzzed (position, mask) pairs
+		// and require restore to fail cleanly or succeed — never panic.
+		if len(corrupt) >= 2 && buf.Len() > 0 {
+			mut := append([]byte(nil), buf.Bytes()...)
+			for i := 0; i+1 < len(corrupt); i += 2 {
+				mut[int(corrupt[i])%len(mut)] ^= corrupt[i+1]
+			}
+			changed := !bytes.Equal(mut, buf.Bytes())
+			c, err := sim.Restore(bytes.NewReader(mut), ff.Graph(), newAlg(), cfg)
+			if err == nil {
+				if !changed {
+					c.Close()
+				} else {
+					t.Fatal("corrupted snapshot restored without error")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,313 @@
+// Package snapshot is the versioned binary container used to
+// checkpoint and restore simulator state (DESIGN.md §14).
+//
+// The format is deliberately minimal and fully deterministic: a fixed
+// magic string and format version, followed by tagged sections of
+// little-endian / varint-encoded primitives, terminated by a CRC32
+// trailer over everything that precedes it. The same state always
+// serialises to the same bytes, so snapshot equality is byte equality —
+// the property the restore-vs-rerun bit-identity tests lean on.
+//
+// The encoding layer knows nothing about simulator structures; it
+// provides primitives (Uvarint, Varint, U64, Bool, String) plus section
+// tags that catch reader/writer drift early with a precise error
+// instead of garbage decoding. Readers are sticky-error: after the
+// first failure every subsequent read is a cheap no-op returning zero,
+// so decode loops need only one error check at the end. Hostile or
+// truncated input must surface as an error, never a panic: String and
+// the caller-side count validations bound every allocation.
+package snapshot
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic identifies a flatnet snapshot stream.
+const Magic = "FNETSNAP"
+
+// Version is the current format version. Readers reject snapshots
+// written by a different version: state layout is tied to the simulator
+// build, and silently misreading a stale checkpoint is worse than
+// asking the caller to regenerate it.
+const Version = 1
+
+// maxStringLen bounds String allocations against hostile length
+// prefixes. Snapshot strings are short identifiers (algorithm names,
+// pattern names), never bulk data.
+const maxStringLen = 1 << 16
+
+// Writer serialises primitives to an underlying stream while
+// accumulating the CRC32 trailer. Errors are sticky; check Close.
+type Writer struct {
+	w   *bufio.Writer
+	crc uint32
+	err error
+	buf [10]byte
+}
+
+// NewWriter starts a snapshot stream: magic then format version.
+func NewWriter(w io.Writer) *Writer {
+	sw := &Writer{w: bufio.NewWriter(w)}
+	sw.raw([]byte(Magic))
+	sw.Uvarint(Version)
+	return sw
+}
+
+func (w *Writer) raw(b []byte) {
+	if w.err != nil {
+		return
+	}
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, b)
+	_, w.err = w.w.Write(b)
+}
+
+// Uvarint writes an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	n := 0
+	for v >= 0x80 {
+		w.buf[n] = byte(v) | 0x80
+		v >>= 7
+		n++
+	}
+	w.buf[n] = byte(v)
+	w.raw(w.buf[:n+1])
+}
+
+// Varint writes a signed varint (zig-zag encoded).
+func (w *Writer) Varint(v int64) {
+	w.Uvarint(uint64(v<<1) ^ uint64(v>>63))
+}
+
+// U64 writes a fixed-width little-endian uint64 (RNG state words,
+// where varint encoding would obscure the fixed layout).
+func (w *Writer) U64(v uint64) {
+	for i := 0; i < 8; i++ {
+		w.buf[i] = byte(v >> (8 * i))
+	}
+	w.raw(w.buf[:8])
+}
+
+// Bool writes a single 0/1 byte.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf[0] = b
+	w.raw(w.buf[:1])
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	if len(s) > maxStringLen {
+		if w.err == nil {
+			w.err = fmt.Errorf("snapshot: string of %d bytes exceeds limit %d", len(s), maxStringLen)
+		}
+		return
+	}
+	w.Uvarint(uint64(len(s)))
+	w.raw([]byte(s))
+}
+
+// Section writes a section tag marking the start of a logical group.
+func (w *Writer) Section(tag uint64) {
+	w.Uvarint(tag)
+}
+
+// Err returns the first error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Close writes the CRC32 trailer and flushes. It does not close the
+// underlying stream.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	var tail [4]byte
+	for i := 0; i < 4; i++ {
+		tail[i] = byte(w.crc >> (8 * i))
+	}
+	if _, err := w.w.Write(tail[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Reader decodes a snapshot stream written by Writer. Errors are
+// sticky: after the first failure every read returns the zero value,
+// and Err / Finish report what went wrong.
+type Reader struct {
+	r       *bufio.Reader
+	crc     uint32
+	err     error
+	version uint64
+}
+
+// NewReader validates the magic and format version and positions the
+// reader at the first section.
+func NewReader(r io.Reader) (*Reader, error) {
+	sr := &Reader{r: bufio.NewReader(r)}
+	var magic [len(Magic)]byte
+	sr.full(magic[:])
+	if sr.err == nil && string(magic[:]) != Magic {
+		sr.err = errors.New("snapshot: bad magic (not a flatnet snapshot)")
+	}
+	sr.version = sr.Uvarint()
+	if sr.err == nil && sr.version != Version {
+		sr.err = fmt.Errorf("snapshot: format version %d, this build reads version %d", sr.version, Version)
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	return sr, nil
+}
+
+// Version reports the stream's format version.
+func (r *Reader) Version() uint64 { return r.version }
+
+func (r *Reader) full(b []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = errors.New("snapshot: truncated stream")
+		}
+		r.err = err
+		return
+	}
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, b)
+}
+
+func (r *Reader) byte() byte {
+	var b [1]byte
+	r.full(b[:])
+	return b[0]
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	var v uint64
+	var shift uint
+	for {
+		b := r.byte()
+		if r.err != nil {
+			return 0
+		}
+		if shift == 63 && b > 1 {
+			r.err = errors.New("snapshot: varint overflows uint64")
+			return 0
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+		shift += 7
+		if shift > 63 {
+			r.err = errors.New("snapshot: varint too long")
+			return 0
+		}
+	}
+}
+
+// Varint reads a signed (zig-zag) varint.
+func (r *Reader) Varint() int64 {
+	u := r.Uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// U64 reads a fixed-width little-endian uint64.
+func (r *Reader) U64() uint64 {
+	var b [8]byte
+	r.full(b[:])
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// Bool reads a 0/1 byte; any other value is a format error.
+func (r *Reader) Bool() bool {
+	b := r.byte()
+	if r.err == nil && b > 1 {
+		r.err = fmt.Errorf("snapshot: invalid bool byte %#x", b)
+	}
+	return b == 1
+}
+
+// String reads a length-prefixed string, bounding the allocation.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		r.err = fmt.Errorf("snapshot: string length %d exceeds limit %d", n, maxStringLen)
+		return ""
+	}
+	b := make([]byte, n)
+	r.full(b)
+	if r.err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Section consumes a section tag and errors unless it matches want.
+func (r *Reader) Section(want uint64) {
+	got := r.Uvarint()
+	if r.err == nil && got != want {
+		r.err = fmt.Errorf("snapshot: expected section %d, found %d (corrupt or mismatched stream)", want, got)
+	}
+}
+
+// Count reads a uvarint length prefix and validates it against max so
+// hostile streams cannot force huge allocations or out-of-range
+// indices. Use for every slice length and index read from the stream.
+func (r *Reader) Count(max int, what string) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if max < 0 || n > uint64(max) {
+		r.err = fmt.Errorf("snapshot: %s count %d exceeds limit %d", what, n, max)
+		return 0
+	}
+	return int(n)
+}
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Finish validates the CRC32 trailer. Call after the last section has
+// been decoded; a mismatch means the stream was corrupted in flight.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	want := r.crc // trailer itself is not covered by the CRC
+	var tail [4]byte
+	if _, err := io.ReadFull(r.r, tail[:]); err != nil {
+		r.err = errors.New("snapshot: truncated stream (missing CRC trailer)")
+		return r.err
+	}
+	var got uint32
+	for i := 0; i < 4; i++ {
+		got |= uint32(tail[i]) << (8 * i)
+	}
+	if got != want {
+		r.err = fmt.Errorf("snapshot: CRC mismatch (stream %#08x, computed %#08x)", got, want)
+		return r.err
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	uvals := []uint64{0, 1, 127, 128, 1<<32 - 1, math.MaxUint64}
+	ivals := []int64{0, 1, -1, 63, -64, math.MaxInt64, math.MinInt64}
+	w.Section(7)
+	for _, v := range uvals {
+		w.Uvarint(v)
+	}
+	for _, v := range ivals {
+		w.Varint(v)
+	}
+	w.U64(0xdeadbeefcafef00d)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("ugal-s")
+	w.String("")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section(7)
+	for _, want := range uvals {
+		if got := r.Uvarint(); got != want {
+			t.Fatalf("uvarint: got %d, want %d", got, want)
+		}
+	}
+	for _, want := range ivals {
+		if got := r.Varint(); got != want {
+			t.Fatalf("varint: got %d, want %d", got, want)
+		}
+	}
+	if got := r.U64(); got != 0xdeadbeefcafef00d {
+		t.Fatalf("u64: got %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool round-trip failed")
+	}
+	if got := r.String(); got != "ugal-s" {
+		t.Fatalf("string: got %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("empty string: got %q", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	emit := func() []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.Section(1)
+		w.Varint(-42)
+		w.U64(99)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(emit(), emit()) {
+		t.Fatal("identical writes produced different bytes")
+	}
+}
+
+func TestRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section(1)
+	w.Uvarint(5)
+	w.String("hello")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	readAll := func(b []byte) error {
+		r, err := NewReader(bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		r.Section(1)
+		r.Uvarint()
+		_ = r.String()
+		return r.Finish()
+	}
+	if err := readAll(data); err != nil {
+		t.Fatalf("pristine stream failed: %v", err)
+	}
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x80
+		if readAll(mut) == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+	}
+	for l := 0; l < len(data); l++ {
+		if readAll(data[:l]) == nil {
+			t.Fatalf("truncation to %d bytes went undetected", l)
+		}
+	}
+}
+
+func TestReaderGuards(t *testing.T) {
+	// Bad magic.
+	if _, err := NewReader(strings.NewReader("NOTASNAP\x01")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(Version + 1)
+	if _, err := NewReader(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("future version accepted")
+	}
+
+	// Section mismatch.
+	buf.Reset()
+	w := NewWriter(&buf)
+	w.Section(2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section(3)
+	if r.Err() == nil {
+		t.Fatal("section mismatch accepted")
+	}
+
+	// Count cap.
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.Uvarint(1000)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err = NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Count(10, "widget"); got != 0 || r.Err() == nil {
+		t.Fatalf("count over limit returned %d, err %v", got, r.Err())
+	}
+
+	// Hostile string length must not allocate.
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.Uvarint(1 << 40)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err = NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.String(); got != "" || r.Err() == nil {
+		t.Fatalf("hostile string length returned %q, err %v", got, r.Err())
+	}
+}

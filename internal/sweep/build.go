@@ -3,6 +3,7 @@ package sweep
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"flatnet/internal/check"
 	"flatnet/internal/core"
@@ -128,7 +129,16 @@ func (j Job) buildPattern(nodes int) (traffic.Pattern, error) {
 // invocation builds a private network and RNG from the job's seed, which
 // is what makes parallel sweeps bit-identical to sequential ones.
 func (j Job) Run(stop func() bool) (Result, error) {
-	return j.run(stop, nil)
+	return j.run(stop, nil, nil, nil)
+}
+
+// runIO is Run with the snapshot plumbing exposed: resume, when
+// non-nil, restores the job's network from a warmed snapshot instead of
+// building cold; checkpoint, when non-nil, receives a snapshot of the
+// warmed network the moment the measurement window opens. ModeLoad
+// only; see WarmStore for the reuse policy built on top.
+func (j Job) runIO(stop func() bool, resume io.Reader, checkpoint io.Writer) (Result, error) {
+	return j.run(stop, nil, resume, checkpoint)
 }
 
 // RunChecked is Run with the internal/check runtime sanitizer attached
@@ -141,7 +151,7 @@ func (j Job) RunChecked(stop func() bool) (Result, error) {
 	var sans []*check.Sanitizer
 	res, err := j.run(stop, func(n *sim.Network) {
 		sans = append(sans, check.Attach(n, check.Config{}))
-	})
+	}, nil, nil)
 	if err != nil {
 		return res, err
 	}
@@ -158,9 +168,11 @@ func (j Job) RunChecked(stop func() bool) (Result, error) {
 	return res, nil
 }
 
-// run is the shared body of Run and RunChecked: attach, when non-nil,
-// receives the job's freshly built network before the first cycle.
-func (j Job) run(stop func() bool, attach func(*sim.Network)) (Result, error) {
+// run is the shared body of Run, RunChecked and runIO: attach, when
+// non-nil, receives the job's freshly built network before the first
+// cycle; resume and checkpoint plug into the ModeLoad snapshot plumbing
+// (sim.RunConfig.Resume/Checkpoint) and are ignored by other modes.
+func (j Job) run(stop func() bool, attach func(*sim.Network), resume io.Reader, checkpoint io.Writer) (Result, error) {
 	j = j.Normalize()
 	res := Result{Job: j, Hash: j.Hash()}
 	g, alg, pat, cfg, err := j.build()
@@ -173,6 +185,7 @@ func (j Job) run(stop func() bool, attach func(*sim.Network)) (Result, error) {
 			Load: j.Load, Pattern: pat,
 			Warmup: j.Warmup, Measure: j.Measure, MaxCycles: j.MaxCycles,
 			Stop: stop, Attach: attach, Workers: j.Workers,
+			Resume: resume, Checkpoint: checkpoint,
 		}
 		res.Point, err = sim.RunLoadPoint(g, alg, cfg, rc)
 	case ModeSaturation:

@@ -34,6 +34,13 @@ type Engine struct {
 	// job hash — but note that cache hits are served without re-checking.
 	// Building with -tags=check turns Check on for every engine.
 	Check bool
+	// Warm, when non-nil, enables warm-state reuse for ModeLoad jobs:
+	// a job whose WarmKey has a stored snapshot resumes from it instead
+	// of re-simulating its warm-up, and cold runs deposit their warmed
+	// state for future sweeps. Results are bit-identical either way.
+	// Ignored when Check is armed (the sanitizer must observe the run
+	// from cycle zero).
+	Warm *WarmStore
 
 	mu    sync.Mutex
 	stats Stats
@@ -54,7 +61,13 @@ type Stats struct {
 	Deduped   int // duplicate jobs coalesced within a Run
 	Skipped   int // jobs elided by a skip predicate (saturation fast-path)
 	Failed    int // jobs that returned an error
-	Workers   []WorkerStats
+	// WarmHits counts simulations resumed from a warm-state snapshot,
+	// WarmPuts the cold runs that deposited one, and WarmCyclesSaved the
+	// total warm-up cycles not re-simulated thanks to those hits.
+	WarmHits        int
+	WarmPuts        int
+	WarmCyclesSaved int64
+	Workers         []WorkerStats
 }
 
 // Stats returns a copy of the engine's accumulated statistics.
@@ -136,6 +149,10 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 		nsim    int
 		nskip   int
 		nfail   int
+
+		nwarmhit   int
+		nwarmput   int
+		warmCycles int64
 	)
 	countMu := &errMu // one lock guards jobErrs and the counters below
 	feed := make(chan int)
@@ -176,6 +193,11 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 				run := jobs[i].Run
 				if e.Check || autoCheck {
 					run = jobs[i].RunChecked
+				} else if e.Warm != nil {
+					jb := jobs[i]
+					run = func(stop func() bool) (Result, error) {
+						return jb.runWarm(stop, e.Warm)
+					}
 				}
 				r, err := run(stop)
 				elapsed := time.Since(start)
@@ -203,6 +225,13 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 				results[i] = r
 				countMu.Lock()
 				nsim++
+				if r.WarmStart {
+					nwarmhit++
+					warmCycles += int64(r.Job.Warmup)
+				}
+				if r.WarmSaved {
+					nwarmput++
+				}
 				countMu.Unlock()
 				if e.Cache != nil {
 					if cerr := e.Cache.Put(r); cerr != nil {
@@ -246,6 +275,9 @@ func (e *Engine) run(ctx context.Context, jobs []Job, skip func(int) bool, onDon
 	e.stats.Deduped += ndup
 	e.stats.Skipped += nskip
 	e.stats.Failed += nfail
+	e.stats.WarmHits += nwarmhit
+	e.stats.WarmPuts += nwarmput
+	e.stats.WarmCyclesSaved += warmCycles
 	if len(e.stats.Workers) < nw {
 		e.stats.Workers = append(e.stats.Workers, make([]WorkerStats, nw-len(e.stats.Workers))...)
 	}

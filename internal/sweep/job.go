@@ -187,4 +187,11 @@ type Result struct {
 	// is persisted.
 	Cached  bool `json:"-"`
 	Skipped bool `json:"-"`
+	// WarmStart reports the simulation resumed from a warm-state
+	// snapshot (skipping the warm-up phase entirely); WarmSaved that it
+	// ran cold and deposited one for future runs. Warm reuse is
+	// bit-identical to a cold run, so neither flag is persisted or
+	// hashed.
+	WarmStart bool `json:"-"`
+	WarmSaved bool `json:"-"`
 }

@@ -1,0 +1,151 @@
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"flatnet/internal/sim"
+)
+
+// WarmKey returns the job's warm-state content hash: the hash of every
+// field that shapes the network's state at the end of warm-up, excluding
+// the measurement-only parameters (Mode, Measure, MaxCycles, BatchSize).
+// Two ModeLoad jobs with equal WarmKeys traverse identical warm-up
+// trajectories, so a snapshot taken when one opens its measurement
+// window is a faithful starting point for the other — that is the
+// invariant the warm store trades on.
+func (j Job) WarmKey() string {
+	n := j.Normalize()
+	s := fmt.Sprintf("%s|warm|net=%s|k=%d|n=%d|up=%d|lv=%d|mid=%d|cl=%d|mul=%d|alg=%s|pat=%s|conc=%d|load=%.17g|warm=%d|seed=%d|buf=%d|pkt=%d|spd=%d|age=%t|rd=%d",
+		hashVersion, n.Net, n.K, n.N, n.Uplinks, n.Leaves, n.Middles,
+		n.ChannelLatency, n.Multiplicity, n.Alg, n.Pattern, n.Conc,
+		n.Load, n.Warmup, n.Seed, n.BufPerPort, n.PacketSize, n.Speedup,
+		n.AgeArbiter, n.RouterDelay)
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// WarmStore is a directory of warmed-network snapshots, one file per
+// WarmKey, conventionally kept beside the JSON-lines result cache
+// (e.g. results.jsonl + results.jsonl.warm/). Puts are atomic
+// (temp-file + rename), so concurrent sweeps sharing a store never
+// observe a torn snapshot; restore-side validation (sim.Restore's
+// digest and CRC checks) catches anything else, and the engine falls
+// back to a cold run when it does.
+type WarmStore struct {
+	dir string
+
+	mu     sync.Mutex
+	hits   int
+	misses int
+	puts   int
+}
+
+// WarmStats reports a warm store's accounting since open.
+type WarmStats struct {
+	Hits, Misses, Puts int
+}
+
+// OpenWarmStore opens (creating if needed) the snapshot directory.
+func OpenWarmStore(dir string) (*WarmStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: warm store dir: %w", err)
+	}
+	return &WarmStore{dir: dir}, nil
+}
+
+func (s *WarmStore) file(key string) string {
+	return filepath.Join(s.dir, key+".snap")
+}
+
+// Get returns the stored snapshot bytes for a warm key.
+func (s *WarmStore) Get(key string) ([]byte, bool) {
+	data, err := os.ReadFile(s.file(key))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	return data, true
+}
+
+// Put stores a snapshot under a warm key, atomically.
+func (s *WarmStore) Put(key string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: warm store temp: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: warm store write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: warm store close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.file(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: warm store rename: %w", err)
+	}
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+	return nil
+}
+
+// Drop removes a stored snapshot (used when restore rejects it).
+func (s *WarmStore) Drop(key string) {
+	os.Remove(s.file(key))
+}
+
+// Stats returns the store's current accounting.
+func (s *WarmStore) Stats() WarmStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return WarmStats{Hits: s.hits, Misses: s.misses, Puts: s.puts}
+}
+
+// runWarm is Job.Run with warm-state reuse: a ModeLoad job whose
+// WarmKey has a stored snapshot resumes from it (skipping the entire
+// warm-up phase); a miss runs cold with a checkpoint writer armed and
+// deposits the warmed state for future runs. Either way the Result is
+// bit-identical to a plain cold run — the snapshot round-trip guarantee
+// — so warm reuse never enters the job hash or the result cache.
+func (j Job) runWarm(stop func() bool, ws *WarmStore) (Result, error) {
+	j = j.Normalize()
+	if ws == nil || j.Mode != ModeLoad || j.Warmup <= 0 {
+		return j.Run(stop)
+	}
+	key := j.WarmKey()
+	if data, ok := ws.Get(key); ok {
+		res, err := j.runIO(stop, bytes.NewReader(data), nil)
+		if err == nil {
+			res.WarmStart = true
+			return res, nil
+		}
+		if !errors.Is(err, sim.ErrResume) {
+			return res, err
+		}
+		// The snapshot was corrupt or written by an incompatible build:
+		// discard it and fall through to a cold run that replaces it.
+		ws.Drop(key)
+	}
+	var buf bytes.Buffer
+	res, err := j.runIO(stop, nil, &buf)
+	if err == nil && buf.Len() > 0 {
+		// A failed Put only loses future reuse; the result stands.
+		if perr := ws.Put(key, buf.Bytes()); perr == nil {
+			res.WarmSaved = true
+		}
+	}
+	return res, err
+}

@@ -1,0 +1,66 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The registry names every pattern constructible from (nodes, seed)
+// alone — the set a service endpoint can safely offer to remote
+// callers. Group patterns (worstcase, tornado) need a concentration and
+// hotspot needs a hot-node set, so they are deliberately absent; callers
+// with that context construct them directly.
+var registry = map[string]func(nodes int, seed uint64) (Pattern, error){
+	"uniform":   func(n int, _ uint64) (Pattern, error) { return NewUniform(n), nil },
+	"bitcomp":   func(n int, _ uint64) (Pattern, error) { return NewBitComplement(n), nil },
+	"transpose": func(n int, _ uint64) (Pattern, error) { return NewTranspose(n) },
+	"shuffle":   func(n int, _ uint64) (Pattern, error) { return NewShuffle(n) },
+	"randperm":  func(n int, seed uint64) (Pattern, error) { return NewRandPerm(n, seed), nil },
+}
+
+// aliases maps the sweep-vocabulary short forms onto registry names.
+var aliases = map[string]string{
+	"UR": "uniform",
+	"BC": "bitcomp",
+	"TP": "transpose",
+	"SH": "shuffle",
+	"RP": "randperm",
+}
+
+// Canonical resolves a pattern name or alias to its registry name,
+// reporting whether it is known.
+func Canonical(name string) (string, bool) {
+	if a, ok := aliases[name]; ok {
+		name = a
+	}
+	_, ok := registry[name]
+	return name, ok
+}
+
+// Known reports whether name (or its alias) is buildable via Build.
+func Known(name string) bool {
+	_, ok := Canonical(name)
+	return ok
+}
+
+// Names lists the registry's canonical pattern names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs a registered pattern (by canonical name or alias)
+// for an n-node network. seed only matters to seeded patterns
+// (randperm); size constraints (e.g. shuffle's power-of-two) surface as
+// errors here.
+func Build(name string, nodes int, seed uint64) (Pattern, error) {
+	canon, ok := Canonical(name)
+	if !ok {
+		return nil, fmt.Errorf("traffic: unknown pattern %q (have %v)", name, Names())
+	}
+	return registry[canon](nodes, seed)
+}

@@ -1,0 +1,75 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+
+	"flatnet/internal/rng"
+	"flatnet/internal/topo"
+)
+
+func TestRegistryCanonical(t *testing.T) {
+	cases := []struct {
+		in    string
+		canon string
+		ok    bool
+	}{
+		{"uniform", "uniform", true},
+		{"UR", "uniform", true},
+		{"BC", "bitcomp", true},
+		{"TP", "transpose", true},
+		{"SH", "shuffle", true},
+		{"RP", "randperm", true},
+		{"randperm", "randperm", true},
+		{"nope", "nope", false},
+		{"WC", "WC", false}, // needs a concentration: not registered
+		{"", "", false},
+	}
+	for _, c := range cases {
+		canon, ok := Canonical(c.in)
+		if ok != c.ok || (ok && canon != c.canon) {
+			t.Errorf("Canonical(%q) = %q, %v; want %q, %v", c.in, canon, ok, c.canon, c.ok)
+		}
+		if Known(c.in) != c.ok {
+			t.Errorf("Known(%q) = %v, want %v", c.in, !c.ok, c.ok)
+		}
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"bitcomp", "randperm", "shuffle", "transpose", "uniform"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryBuild(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Build(name, 16, 7)
+		if err != nil {
+			t.Fatalf("Build(%q, 16, 7): %v", name, err)
+		}
+		r := rng.New(1)
+		for src := 0; src < 16; src++ {
+			d := p.Dest(topo.NodeID(src), r)
+			if d < 0 || int(d) >= 16 {
+				t.Fatalf("%s: Dest(%d) = %d out of range", name, src, d)
+			}
+		}
+	}
+	// Seeded patterns derive from the seed deterministically.
+	a, _ := Build("RP", 16, 42)
+	b, _ := Build("randperm", 16, 42)
+	for src := 0; src < 16; src++ {
+		if a.Dest(topo.NodeID(src), nil) != b.Dest(topo.NodeID(src), nil) {
+			t.Fatalf("randperm not seed-deterministic at src %d", src)
+		}
+	}
+	// Size constraints surface as errors, not panics.
+	if _, err := Build("shuffle", 12, 1); err == nil {
+		t.Fatal("shuffle accepted a non-power-of-two size")
+	}
+	if _, err := Build("bogus", 16, 1); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}

@@ -248,6 +248,35 @@ func (s *Session) Stats() (Stats, error) {
 	return s.c.stats(s.id)
 }
 
+// Checkpoint snapshots the session's warmed network into the server's
+// checkpoint store and returns the checkpoint id. The snapshot is taken
+// between simulation steps, so it captures a consistent state; the
+// session continues unaffected.
+func (s *Session) Checkpoint() (string, error) {
+	resp, err := s.c.call(nocsvc.Request{Verb: nocsvc.VerbCheckpoint, Session: s.id})
+	if err != nil {
+		return "", err
+	}
+	if resp.Checkpoint == "" {
+		return "", errors.New("nocsvc client: checkpoint response missing id")
+	}
+	return resp.Checkpoint, nil
+}
+
+// CloneSession opens a new session restored from a stored checkpoint.
+// The clone skips warm-up: it starts at the checkpointed cycle,
+// bit-identical to the session the checkpoint was taken from.
+func (c *Client) CloneSession(checkpoint string) (*Session, error) {
+	resp, err := c.call(nocsvc.Request{Verb: nocsvc.VerbClone, Checkpoint: checkpoint})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Session == "" || resp.Info == nil {
+		return nil, errors.New("nocsvc client: clone response missing session")
+	}
+	return &Session{c: c, id: resp.Session, info: *resp.Info}, nil
+}
+
 // Close closes the session on the server.
 func (s *Session) Close() error {
 	_, err := s.c.call(nocsvc.Request{Verb: nocsvc.VerbClose, Session: s.id})
