@@ -72,6 +72,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzShardEquivalence -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzSnapshotRoundTrip -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/nocsvc/
+	$(GO) test -fuzz=FuzzSlimFlyGraph -fuzztime=30s ./internal/topo/
 
 clean:
 	$(GO) clean ./...

@@ -14,6 +14,9 @@
 //	flatsim -topo ff -k 16 -n 2 -trace run.trace               # replay a trace
 //	flatsim -topo ff -k 8 -n 2 -load 0.4 -flittrace run.json   # flit trace
 //	flatsim -topo ff -k 16 -n 2 -sweep -listen localhost:6060  # live metrics
+//	flatsim -topo sf -q 5 -alg ugal -pattern uniform -load 0.5 # Slim Fly
+//	flatsim -topo df -gh 4 -alg min -pattern worstcase -load 0.1
+//	flatsim -topo sf -q 43 -analytic                           # 122k nodes, no simulation
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"flatnet"
 	"flatnet/internal/sim"
@@ -31,12 +35,16 @@ import (
 
 func main() {
 	var o runOpts
-	flag.StringVar(&o.topo, "topo", "ff", "topology: ff | butterfly | clos | hypercube")
+	flag.StringVar(&o.topo, "topo", "ff", "topology: ff | butterfly | clos | hypercube | sf | df")
 	flag.IntVar(&o.k, "k", 32, "ary (terminals per router for ff/clos groups)")
 	flag.IntVar(&o.n, "n", 2, "stages (ff/butterfly: network has k^n nodes)")
 	flag.IntVar(&o.dims, "dims", 10, "hypercube dimensions")
 	flag.IntVar(&o.taper, "taper", 2, "folded-Clos taper (terminals/uplinks ratio)")
-	flag.StringVar(&o.alg, "alg", "clos", "ff algorithm: min | val | ugal | ugal-s | clos")
+	flag.IntVar(&o.q, "q", 5, "Slim Fly field size (odd prime power)")
+	flag.IntVar(&o.gh, "gh", 2, "dragonfly global channels per router")
+	flag.IntVar(&o.ga, "ga", 0, "dragonfly routers per group (0 = balanced 2h)")
+	flag.IntVar(&o.conc, "p", 0, "sf/df terminals per router (0 = balanced default)")
+	flag.StringVar(&o.alg, "alg", "clos", "ff algorithm: min | val | ugal | ugal-s | clos (sf/df: min | val | ugal | ugal-s)")
 	flag.StringVar(&o.pattern, "pattern", "uniform", "traffic: uniform | worstcase | bitcomp | tornado")
 	flag.Float64Var(&o.load, "load", 0.5, "offered load (fraction of capacity)")
 	flag.BoolVar(&o.sweep, "sweep", false, "sweep loads 0.1..0.95 instead of one point")
@@ -50,6 +58,7 @@ func main() {
 	flag.StringVar(&o.listen, "listen", "", "serve live metrics (/debug/vars, /debug/pprof) on this address during the run")
 	flag.StringVar(&o.flitTrace, "flittrace", "", "write a flit event trace of an open-loop run to this file (.jsonl for JSON lines, anything else for Chrome trace JSON)")
 	flag.IntVar(&o.traceCap, "tracecap", 1<<16, "flit tracer ring capacity in events (oldest evicted when full)")
+	flag.BoolVar(&o.analytic, "analytic", false, "evaluate the topology graph-analytically (diameter, avg hops, path diversity, bisection bounds) instead of simulating")
 	flag.BoolVar(&o.check, "check", false, "run under the runtime invariant sanitizer (open-loop -load/-sweep/-batch runs)")
 	flag.IntVar(&o.workers, "workers", 1, "cycle-core worker goroutines (results are bit-identical at any count; >1 disables probe reporting)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "write a snapshot of the warmed network to this file when the measurement window opens (single -load runs; disables probe reporting)")
@@ -85,6 +94,10 @@ type runOpts struct {
 	k, n       int
 	dims       int
 	taper      int
+	q          int
+	gh, ga     int
+	conc       int
+	analytic   bool
 	alg        string
 	pattern    string
 	trace      string
@@ -122,6 +135,14 @@ func run(o runOpts) error {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "flatsim: serving metrics on http://%s/debug/vars\n", srv.Addr())
+	}
+
+	if o.analytic {
+		if o.sweep || o.batch > 0 || o.trace != "" || o.window > 0 || o.check ||
+			o.flitTrace != "" || o.checkpoint != "" || o.restore != "" {
+			return fmt.Errorf("-analytic is a pure graph evaluation; drop the simulation flags")
+		}
+		return runAnalytic(o)
 	}
 
 	var (
@@ -171,6 +192,32 @@ func run(o runOpts) error {
 		alg = flatnet.NewECube(h)
 		g, nodes, conc = h.Graph(), h.NumNodes, 1
 		fmt.Printf("topology: %s (N=%d), routing: e-cube\n", h.Name(), h.NumNodes)
+	case "sf":
+		s, e := flatnet.NewSlimFly(o.q, o.conc)
+		if e != nil {
+			return e
+		}
+		alg, err = flatnet.NewSlimFlyAlgorithm(o.alg, s)
+		if err != nil {
+			return err
+		}
+		g, nodes, conc = s.Graph(), s.NumNodes, s.P
+		fmt.Printf("topology: %s (N=%d, routers=%d, degree k'=%d, diameter %d), routing: %s\n",
+			s.Name(), s.NumNodes, s.NumRouters, s.NetworkDegree, s.Diameter(), alg.Name())
+	case "df":
+		d, e := flatnet.NewDragonfly(o.conc, o.ga, o.gh)
+		if e != nil {
+			return e
+		}
+		alg, err = flatnet.NewDragonflyAlgorithm(o.alg, d)
+		if err != nil {
+			return err
+		}
+		// Group patterns treat one group's terminals as the unit, which is
+		// what makes -pattern worstcase the dragonfly adversary.
+		g, nodes, conc = d.Graph(), d.NumNodes, d.A*d.P
+		fmt.Printf("topology: %s (N=%d, routers=%d, groups=%d), routing: %s\n",
+			d.Name(), d.NumNodes, d.NumRouters, d.Groups, alg.Name())
 	default:
 		return fmt.Errorf("unknown topology %q", o.topo)
 	}
@@ -288,6 +335,53 @@ func run(o runOpts) error {
 		fmt.Printf("%-6.2f  %-12.2f  %-6d  %-6d  %-6d  %-6d  %-10.3f  %s\n",
 			r.Load, r.AvgLatency, r.P50Latency, r.P95Latency, r.P99Latency, r.MaxLatency,
 			r.AcceptedRate, status)
+	}
+	return nil
+}
+
+// runAnalytic evaluates the selected topology graph-analytically —
+// no simulation, so instances far beyond cycle-accurate reach (100k+
+// endpoints) report in well under a second.
+func runAnalytic(o runOpts) error {
+	var (
+		tp  flatnet.Topology
+		err error
+	)
+	switch o.topo {
+	case "ff":
+		tp, err = flatnet.NewFlatFly(o.k, o.n)
+	case "butterfly":
+		tp, err = flatnet.NewButterfly(o.k, o.n)
+	case "clos":
+		if o.taper < 1 {
+			return fmt.Errorf("taper must be >= 1")
+		}
+		tp, err = flatnet.NewFoldedClos(o.k, o.k/o.taper, o.k, max(1, o.k/(2*o.taper)))
+	case "hypercube":
+		tp, err = flatnet.NewHypercube(o.dims)
+	case "sf":
+		tp, err = flatnet.NewSlimFly(o.q, o.conc)
+	case "df":
+		tp, err = flatnet.NewDragonfly(o.conc, o.ga, o.gh)
+	default:
+		return fmt.Errorf("unknown topology %q", o.topo)
+	}
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	m, err := flatnet.AnalyzeTopology(tp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology: %s (analytic, %v)\n", tp.Name(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  terminals %d, routers %d, network channels %d\n", m.Nodes, m.Routers, m.Channels)
+	fmt.Printf("  diameter %d, avg min hops %.4f, path diversity %.3f\n", m.Diameter, m.AvgHops, m.PathDiversity)
+	if m.BisectionLowerChannels > 0 {
+		fmt.Printf("  bisection: %.0f..%.0f unidirectional channels (spectral lower .. best cut found)\n",
+			m.BisectionLowerChannels, m.BisectionUpperChannels)
+	} else {
+		fmt.Printf("  bisection: <= %.0f unidirectional channels (best cut found)\n", m.BisectionUpperChannels)
 	}
 	return nil
 }

@@ -17,6 +17,13 @@
 // -workers sizes the pool (0 = GOMAXPROCS); results are bit-identical at
 // any worker count. -sat appends a saturation-throughput measurement per
 // series. Progress, ETA and per-worker throughput go to stderr.
+//
+// -analytic replaces the simulation grid with one graph-analytic
+// evaluation of the network (algorithms, patterns and loads are
+// ignored): diameter, average hops, path diversity, bisection bounds
+// and the zero-load latency, in the same Result shape — and the same
+// cache — the simulated jobs use. Slim Fly and dragonfly networks take
+// -net slimfly -q Q [-p P] and -net dragonfly -gh H [-ga A] [-p P].
 package main
 
 import (
@@ -40,6 +47,10 @@ import (
 type cliConfig struct {
 	net        string
 	k, n       int
+	q          int
+	ga, gh     int
+	conc       int
+	analytic   bool
 	algs       []string
 	patterns   []string
 	loads      []float64
@@ -66,9 +77,14 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed (every job derives its RNG from this)")
 		outPath  = flag.String("out", "", "output file ('' = stdout)")
 	)
-	flag.StringVar(&cfg.net, "net", "flatfly", "network constructor: flatfly, butterfly, foldedclos, hypercube")
+	flag.StringVar(&cfg.net, "net", "flatfly", "network constructor: flatfly, butterfly, foldedclos, hypercube, slimfly, dragonfly")
 	flag.IntVar(&cfg.k, "k", 16, "network ary k")
 	flag.IntVar(&cfg.n, "n", 2, "network dimension count n")
+	flag.IntVar(&cfg.q, "q", 0, "slimfly: MMS field size (odd prime power)")
+	flag.IntVar(&cfg.gh, "gh", 0, "dragonfly: global channels per router h")
+	flag.IntVar(&cfg.ga, "ga", 0, "dragonfly: routers per group a (0 = balanced 2h)")
+	flag.IntVar(&cfg.conc, "p", 0, "slimfly/dragonfly: terminals per router (0 = balanced default)")
+	flag.BoolVar(&cfg.analytic, "analytic", false, "evaluate the network graph-analytically instead of running the simulation grid")
 	flag.IntVar(&cfg.warmup, "warmup", 400, "warmup window in cycles")
 	flag.IntVar(&cfg.measure, "measure", 400, "measurement window in cycles")
 	flag.IntVar(&cfg.maxCycles, "maxcycles", 4000, "per-job cycle budget (0 = simulator default)")
@@ -130,6 +146,9 @@ var telemetryReg = telemetry.NewRegistry()
 
 // run executes the grid and writes one series block per pattern.
 func run(ctx context.Context, cfg cliConfig, out, progress io.Writer) error {
+	if cfg.analytic {
+		return runAnalytic(ctx, cfg, out)
+	}
 	if len(cfg.algs) == 0 || len(cfg.patterns) == 0 || len(cfg.loads) == 0 {
 		return fmt.Errorf("grid is empty: need at least one algorithm, pattern and load")
 	}
@@ -164,6 +183,7 @@ func run(ctx context.Context, cfg cliConfig, out, progress io.Writer) error {
 			specs = append(specs, sweep.SeriesSpec{
 				Base: sweep.Job{
 					Net: cfg.net, K: cfg.k, N: cfg.n,
+					Q: cfg.q, A: cfg.ga, H: cfg.gh, P: cfg.conc,
 					Alg: alg, Pattern: pat,
 					Warmup: cfg.warmup, Measure: cfg.measure, MaxCycles: cfg.maxCycles,
 					Seed: cfg.seed, BufPerPort: cfg.buf,
@@ -184,7 +204,7 @@ func run(ctx context.Context, cfg cliConfig, out, progress io.Writer) error {
 			fmt.Fprintln(out)
 		}
 		block := res[pi*len(cfg.algs) : (pi+1)*len(cfg.algs)]
-		fmt.Fprintf(out, "# sweep: %s k=%d n=%d pattern %s seed %d\n", cfg.net, cfg.k, cfg.n, pat, cfg.seed)
+		fmt.Fprintf(out, "# sweep: %s %s pattern %s seed %d\n", cfg.net, cfg.describe(), pat, cfg.seed)
 		fmt.Fprint(out, "load")
 		for _, alg := range cfg.algs {
 			fmt.Fprintf(out, "\tlat_%s", sanitize(alg))
@@ -213,6 +233,60 @@ func run(ctx context.Context, cfg cliConfig, out, progress io.Writer) error {
 	st := eng.Stats()
 	fmt.Fprintf(progress, "sweep: grid done: %d jobs — %d simulated, %d cache hits, %d skipped\n",
 		st.Jobs, st.Simulated, st.CacheHits, st.Skipped)
+	return nil
+}
+
+// describe renders the network parameters that matter for cfg.net,
+// with balanced defaults resolved the same way the jobs resolve them.
+func (cfg cliConfig) describe() string {
+	j := sweep.Job{Net: cfg.net, K: cfg.k, N: cfg.n, Q: cfg.q, A: cfg.ga, H: cfg.gh, P: cfg.conc}.Normalize()
+	switch j.Net {
+	case "slimfly":
+		return fmt.Sprintf("q=%d p=%d", j.Q, j.P)
+	case "dragonfly":
+		return fmt.Sprintf("h=%d a=%d p=%d", j.H, j.A, j.P)
+	default:
+		return fmt.Sprintf("k=%d n=%d", j.K, j.N)
+	}
+}
+
+// runAnalytic evaluates the network as a single graph-analytic job —
+// through the same engine, so -cache and -workers behave as usual.
+func runAnalytic(ctx context.Context, cfg cliConfig, out io.Writer) error {
+	eng := &sweep.Engine{Workers: cfg.workers, JobTimeout: cfg.jobTimeout}
+	if cfg.cachePath != "" {
+		cache, err := sweep.OpenCache(cfg.cachePath)
+		if err != nil {
+			return err
+		}
+		defer cache.Close()
+		eng.Cache = cache
+	}
+	job := sweep.Job{
+		Net: cfg.net, K: cfg.k, N: cfg.n,
+		Q: cfg.q, A: cfg.ga, H: cfg.gh, P: cfg.conc,
+		Mode: sweep.ModeAnalytic, Seed: cfg.seed,
+	}
+	start := time.Now()
+	res, err := eng.Run(ctx, []sweep.Job{job})
+	if err != nil {
+		return err
+	}
+	r := res[0]
+	m := r.Analytic
+	if m == nil {
+		return fmt.Errorf("job %s returned no analytic metrics", r.Hash[:12])
+	}
+	fmt.Fprintf(out, "# analytic: %s (job %s, %v)\n", cfg.net, r.Job.Hash()[:12], time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "nodes\t%d\n", m.Nodes)
+	fmt.Fprintf(out, "routers\t%d\n", m.Routers)
+	fmt.Fprintf(out, "channels\t%d\n", m.Channels)
+	fmt.Fprintf(out, "diameter\t%d\n", m.Diameter)
+	fmt.Fprintf(out, "avg_hops\t%.4f\n", m.AvgHops)
+	fmt.Fprintf(out, "path_diversity\t%.3f\n", m.PathDiversity)
+	fmt.Fprintf(out, "bisection_lower\t%.0f\n", m.BisectionLowerChannels)
+	fmt.Fprintf(out, "bisection_upper\t%.0f\n", m.BisectionUpperChannels)
+	fmt.Fprintf(out, "zero_load_latency\t%.2f\n", r.Point.AvgLatency)
 	return nil
 }
 

@@ -15,7 +15,12 @@
 //     VAL, UGAL, UGAL-S, CLOS AD) plus per-topology baselines
 //     (destination-based butterfly, adaptive folded Clos, e-cube);
 //   - the §4 cost model (router, backplane/cable/repeater links, cabinet
-//     packaging geometry) and the §5.3 power model.
+//     packaging geometry) and the §5.3 power model;
+//   - the high-radix successor topologies the flattened butterfly
+//     inspired — Slim Fly (MMS diameter-2 graphs) and dragonfly — with
+//     minimal, Valiant and UGAL routing, plus a graph-analytic
+//     evaluation mode (AnalyzeTopology) for design-space comparisons at
+//     scales cycle simulation cannot touch.
 //
 // The quickest way in:
 //
@@ -64,6 +69,14 @@ type (
 	GHC = topo.GHC
 	// Torus is a k-ary n-cube, the low-radix baseline of §1.
 	Torus = topo.Torus
+	// SlimFly is the MMS diameter-2 topology (Besta & Hoefler).
+	SlimFly = topo.SlimFly
+	// Dragonfly is the hierarchical group topology (Kim, Dally, Scott &
+	// Abts, ISCA 2008).
+	Dragonfly = topo.Dragonfly
+	// ParamError is the structured validation error every topology
+	// constructor returns for an invalid parameter.
+	ParamError = topo.ParamError
 	// Topology is the interface all of the above satisfy.
 	Topology = topo.Topology
 	// Graph is the directed channel graph the simulator consumes.
@@ -106,6 +119,16 @@ var (
 	NewGHC = topo.NewGHC
 	// NewTorus builds a k-ary n-cube.
 	NewTorus = topo.NewTorus
+	// NewSlimFly builds the MMS Slim Fly over GF(q) with p terminals per
+	// router (p = 0 selects the balanced default).
+	NewSlimFly = topo.NewSlimFly
+	// SlimFlyDefaultConc is the balanced terminals-per-router for a field
+	// size: ceil(k'/2).
+	SlimFlyDefaultConc = topo.SlimFlyDefaultConc
+	// NewDragonfly builds a dragonfly with p terminals per router, a
+	// routers per group and h global channels per router (a = 0 and
+	// p = 0 select the balanced a = 2h, p = h).
+	NewDragonfly = topo.NewDragonfly
 )
 
 // Scaling relationships (§2.1, §5.1).
@@ -294,6 +317,12 @@ var (
 	NewGHCMinAdaptive = routing.NewGHCMinAdaptive
 	// NewTorusDOR is dateline dimension-order torus routing.
 	NewTorusDOR = routing.NewTorusDOR
+	// NewSlimFlyAlgorithm constructs Slim Fly routing by name:
+	// "min", "val", "ugal" or "ugal-s".
+	NewSlimFlyAlgorithm = routing.NewSlimFlyAlgorithm
+	// NewDragonflyAlgorithm constructs dragonfly routing by name:
+	// "min", "val", "ugal" or "ugal-s".
+	NewDragonflyAlgorithm = routing.NewDragonflyAlgorithm
 )
 
 // Cost and power models (§4, §5.3).
@@ -310,6 +339,9 @@ type (
 	PowerModel = power.Model
 	// PowerComparison compares per-node power at one size.
 	PowerComparison = power.Comparison
+	// ModernPowerComparison compares the flattened butterfly against
+	// Slim Fly and dragonfly at one size.
+	ModernPowerComparison = power.ModernComparison
 	// BOM is a topology's bill of materials.
 	BOM = cost.BOM
 )
@@ -344,6 +376,14 @@ var (
 	FoldedClosBOM = cost.FoldedClosBOM
 	ButterflyBOM  = cost.ButterflyBOM
 	HypercubeBOM  = cost.HypercubeBOM
+	// SlimFlyBOM and DragonflyBOM build the modern comparison
+	// topologies' bills of materials under the paper's packaging model.
+	SlimFlyBOM   = cost.SlimFlyBOM
+	DragonflyBOM = cost.DragonflyBOM
+	// ComparePowerModern evaluates FB vs Slim Fly vs dragonfly per-node
+	// power at one size; PowerSweepModern runs it across sizes.
+	ComparePowerModern = power.CompareModern
+	PowerSweepModern   = power.SweepModern
 	// PriceBOM applies the cost model to a bill of materials.
 	PriceBOM = cost.Price
 )
@@ -387,4 +427,29 @@ var (
 	// CreditLimitedChannelRate is min(1, depth/RTT) — the Fig. 12(b)
 	// mechanism.
 	CreditLimitedChannelRate = analysis.CreditLimitedChannelRate
+	// SlimFlyNeighborMinimal is 1/p under the generator-neighbor
+	// adversary.
+	SlimFlyNeighborMinimal = analysis.SlimFlyNeighborMinimal
+	// DragonflyWCMinimal is 1/(a*p); DragonflyWCNonMinimal is h/(2p).
+	DragonflyWCMinimal    = analysis.DragonflyWCMinimal
+	DragonflyWCNonMinimal = analysis.DragonflyWCNonMinimal
+)
+
+// Graph-analytic evaluation (the EvalNet methodology): metrics from the
+// channel graph alone — no cycle simulation — so 100k-endpoint design
+// points evaluate in milliseconds (flatsim -analytic, sweep mode
+// "analytic").
+type (
+	// AnalyticMetrics is the analytic summary of one topology instance:
+	// diameter, average hops, path diversity and bisection bounds.
+	AnalyticMetrics = analysis.Metrics
+)
+
+var (
+	// AnalyzeTopology computes analytic metrics, exploiting router
+	// automorphism orbits when the topology exposes them.
+	AnalyzeTopology = analysis.AnalyzeTopology
+	// AnalyzeGraph computes analytic metrics from any channel graph with
+	// a parallel all-sources BFS sweep.
+	AnalyzeGraph = analysis.Analyze
 )

@@ -87,6 +87,36 @@ func ConcentratedHypercubeWCThroughput(c int) float64 {
 	return 1.0 / float64(c)
 }
 
+// SlimFlyNeighborMinimal returns minimal routing's saturation on a Slim
+// Fly with p terminals per router under the neighbor-adversarial
+// pattern (every terminal of each router targets a terminal of the same
+// fixed Cayley-generator neighbor): the p flows contend for the single
+// direct channel — the diameter-2 graph has exactly one minimal path to
+// an adjacent router — so throughput is 1/p.
+func SlimFlyNeighborMinimal(p int) float64 {
+	return 1.0 / float64(p)
+}
+
+// DragonflyWCMinimal returns minimal routing's saturation on a dragonfly
+// with a routers per group and p terminals per router under the
+// worst-case pattern (every terminal of group g targets group g+1): the
+// canonical dragonfly has exactly one global channel between each
+// ordered group pair, so the group's a*p flows share it — 1/(a*p), the
+// adversarial pattern of the dragonfly paper (Kim et al., ISCA 2008).
+func DragonflyWCMinimal(a, p int) float64 {
+	return 1.0 / float64(a*p)
+}
+
+// DragonflyWCNonMinimal returns non-minimal (VAL/UGAL) routing's
+// saturation on a dragonfly with h global channels per router and p
+// terminals per router under the worst-case pattern: detouring through a
+// random intermediate group costs ~2 global hops per packet, spread over
+// the group's a*h global channels against a*p injected flits: h/(2p) —
+// 1/2 for the balanced p = h configuration.
+func DragonflyWCNonMinimal(h, p int) float64 {
+	return float64(h) / float64(2*p)
+}
+
 // CreditLimitedChannelRate returns the maximum utilization a single
 // virtual channel can sustain across a channel given its buffer depth
 // and the credit round-trip time (forward latency + reverse credit

@@ -1,0 +1,481 @@
+// Graph-analytic evaluation (the EvalNet methodology): diameter, average
+// shortest path, path diversity and bisection-bandwidth bounds computed
+// from the channel graph alone, so design-space comparisons at extreme
+// scale run in milliseconds without cycle simulation. Topologies that
+// expose RouterOrbits (Slim Fly, dragonfly, and the vertex-transitive
+// seed families) are evaluated from one BFS per automorphism orbit;
+// everything else falls back to a parallel all-sources sweep.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"flatnet/internal/topo"
+)
+
+// Metrics is the analytic summary of one topology instance. Hop metrics
+// are terminal-weighted: distances are measured from each terminal's
+// injection router to each terminal's ejection router (the same
+// semantics as the simulator's hop counter and the zero-load oracle),
+// with self pairs included in AvgHops, matching AvgUniformMinHops.
+type Metrics struct {
+	Nodes    int `json:"nodes"`
+	Routers  int `json:"routers"`
+	Channels int `json:"channels"` // unidirectional network channels
+
+	// Diameter is the maximum injection-router to ejection-router
+	// distance over terminal pairs.
+	Diameter int `json:"diameter"`
+	// AvgHops is the expected minimal inter-router hop count under
+	// uniform traffic, self pairs included.
+	AvgHops float64 `json:"avg_hops"`
+	// PathDiversity is the mean number of distinct minimal router paths
+	// over terminal pairs (same-router pairs count one path).
+	PathDiversity float64 `json:"path_diversity"`
+
+	// BisectionLowerChannels is a spectral (Fiedler-value) estimate of
+	// the minimum unidirectional channel count across a balanced router
+	// cut: lambda_2 * R / 4 for the symmetrized channel multigraph. For
+	// edge- and vertex-transitive families it is exact or near-exact;
+	// it is reported as 0 for graphs whose routers host unequal terminal
+	// counts, where a router-balanced cut is not a terminal bisection.
+	BisectionLowerChannels float64 `json:"bisection_lower_channels"`
+	// BisectionUpperChannels is the best (fewest-channel) balanced cut
+	// found among candidate partitions — an upper bound on the true
+	// bisection channel count.
+	BisectionUpperChannels float64 `json:"bisection_upper_channels"`
+}
+
+// orbitTopology is implemented by topologies whose router set decomposes
+// into known automorphism orbits; representatives plus orbit sizes let
+// global metrics come from a handful of BFS sweeps.
+type orbitTopology interface {
+	RouterOrbits() (reps []topo.RouterID, sizes []int)
+}
+
+// AnalyzeTopology analyzes a topology, exploiting RouterOrbits when the
+// concrete type provides it.
+func AnalyzeTopology(t topo.Topology) (Metrics, error) {
+	if ot, ok := t.(orbitTopology); ok {
+		reps, sizes := ot.RouterOrbits()
+		return AnalyzeWithOrbits(t.Graph(), reps, sizes)
+	}
+	return Analyze(t.Graph())
+}
+
+// Analyze computes the metrics from the channel graph alone with an
+// all-sources BFS sweep, parallelized across CPUs.
+func Analyze(g *topo.Graph) (Metrics, error) {
+	return analyze(g, nil, nil)
+}
+
+// AnalyzeWithOrbits computes the metrics from one BFS per router orbit.
+// The orbit sizes must sum to the router count; every router of an orbit
+// must have the same terminal attachment and distance profile as its
+// representative (true for graph automorphism orbits of topologies with
+// uniform concentration).
+func AnalyzeWithOrbits(g *topo.Graph, reps []topo.RouterID, sizes []int) (Metrics, error) {
+	if len(reps) != len(sizes) {
+		return Metrics{}, fmt.Errorf("analysis: %d orbit reps but %d sizes", len(reps), len(sizes))
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != g.NumRouters() {
+		return Metrics{}, fmt.Errorf("analysis: orbit sizes sum to %d, want %d routers", total, g.NumRouters())
+	}
+	return analyze(g, reps, sizes)
+}
+
+// csr is a compact adjacency view of the network channels.
+type csr struct {
+	off []int32
+	nbr []int32
+}
+
+func buildCSR(g *topo.Graph) csr {
+	r := g.NumRouters()
+	deg := make([]int32, r)
+	channels := 0
+	for i := range g.Routers {
+		for _, out := range g.Routers[i].Out {
+			if out.Kind == topo.Network {
+				deg[i]++
+				channels++
+			}
+		}
+	}
+	c := csr{off: make([]int32, r+1), nbr: make([]int32, channels)}
+	for i := 0; i < r; i++ {
+		c.off[i+1] = c.off[i] + deg[i]
+	}
+	fill := make([]int32, r)
+	for i := range g.Routers {
+		for _, out := range g.Routers[i].Out {
+			if out.Kind == topo.Network {
+				c.nbr[c.off[i]+fill[i]] = int32(out.Peer)
+				fill[i]++
+			}
+		}
+	}
+	return c
+}
+
+// bfsCounts runs BFS from src over the channel adjacency, filling dist
+// (hops) and paths (number of distinct minimal paths, saturating
+// float64). The slices are caller-provided scratch of length R.
+func bfsCounts(c csr, src int, dist []int32, paths []float64, queue []int32) {
+	for i := range dist {
+		dist[i] = -1
+		paths[i] = 0
+	}
+	dist[src] = 0
+	paths[src] = 1
+	queue = queue[:0]
+	queue = append(queue, int32(src))
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		dv := dist[v]
+		for _, w := range c.nbr[c.off[v]:c.off[v+1]] {
+			switch {
+			case dist[w] < 0:
+				dist[w] = dv + 1
+				paths[w] = paths[v]
+				queue = append(queue, w)
+			case dist[w] == dv+1:
+				paths[w] += paths[v]
+			}
+		}
+	}
+}
+
+// analyze is the shared implementation. With reps == nil every router
+// that injects terminals is a source, weighted by its terminal count;
+// with orbits, the representatives stand in for their orbits.
+func analyze(g *topo.Graph, reps []topo.RouterID, sizes []int) (Metrics, error) {
+	r := g.NumRouters()
+	if r == 0 || g.NumNodes == 0 {
+		return Metrics{}, fmt.Errorf("analysis: empty graph %q", g.Label)
+	}
+	c := buildCSR(g)
+
+	// Terminal weights per router: injTerms for sources, ejTerms for
+	// destinations (they differ in unidirectional multistage networks).
+	injTerms := make([]int64, r)
+	ejTerms := make([]int64, r)
+	for n := 0; n < g.NumNodes; n++ {
+		injTerms[g.NodeRouter[n]]++
+		ejTerms[g.EjRouter[n]]++
+	}
+
+	type source struct {
+		router topo.RouterID
+		weight int64 // terminal-pair weight multiplier: injTerms * orbit size
+	}
+	var sources []source
+	if reps != nil {
+		for i, rep := range reps {
+			if injTerms[rep] == 0 {
+				continue
+			}
+			sources = append(sources, source{rep, injTerms[rep] * int64(sizes[i])})
+		}
+		// Orbit weights must cover every injecting terminal exactly.
+		var covered, all int64
+		for _, s := range sources {
+			covered += s.weight
+		}
+		for i := 0; i < r; i++ {
+			all += injTerms[i]
+		}
+		if covered != all {
+			return Metrics{}, fmt.Errorf("analysis: orbit reps cover %d terminal weights, want %d (non-uniform concentration?)", covered, all)
+		}
+	} else {
+		for i := 0; i < r; i++ {
+			if injTerms[i] > 0 {
+				sources = append(sources, source{topo.RouterID(i), injTerms[i]})
+			}
+		}
+	}
+
+	type partial struct {
+		hopSum  float64
+		pathSum float64
+		pairW   float64
+		diam    int32
+		err     error
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dist := make([]int32, r)
+			paths := make([]float64, r)
+			queue := make([]int32, 0, r)
+			pt := &parts[w]
+			for si := w; si < len(sources); si += workers {
+				s := sources[si]
+				bfsCounts(c, int(s.router), dist, paths, queue)
+				for d := 0; d < r; d++ {
+					if ejTerms[d] == 0 {
+						continue
+					}
+					if dist[d] < 0 {
+						pt.err = fmt.Errorf("analysis: router %d unreachable from router %d", d, s.router)
+						return
+					}
+					wgt := float64(s.weight) * float64(ejTerms[d])
+					pt.hopSum += wgt * float64(dist[d])
+					pt.pathSum += wgt * paths[d]
+					pt.pairW += wgt
+					if dist[d] > pt.diam {
+						pt.diam = dist[d]
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	m := Metrics{
+		Nodes:    g.NumNodes,
+		Routers:  r,
+		Channels: len(c.nbr),
+	}
+	var hopSum, pathSum, pairW float64
+	for _, pt := range parts {
+		if pt.err != nil {
+			return Metrics{}, pt.err
+		}
+		hopSum += pt.hopSum
+		pathSum += pt.pathSum
+		pairW += pt.pairW
+		if int(pt.diam) > m.Diameter {
+			m.Diameter = int(pt.diam)
+		}
+	}
+	m.AvgHops = hopSum / pairW
+	m.PathDiversity = pathSum / pairW
+
+	m.BisectionLowerChannels = spectralBisectionLower(g, c, injTerms, ejTerms)
+	m.BisectionUpperChannels = bestCandidateCut(g, c)
+	return m, nil
+}
+
+// uniformConcentration reports whether every router hosts the same
+// terminal count on both sides (so router-balanced cuts bisect
+// terminals).
+func uniformConcentration(r int, injTerms, ejTerms []int64) bool {
+	for i := 1; i < r; i++ {
+		if injTerms[i] != injTerms[0] || ejTerms[i] != ejTerms[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// spectralBisectionLower estimates the minimum unidirectional channel
+// count across a balanced router cut as lambda_2 * R / 4, where lambda_2
+// is the algebraic connectivity of the symmetrized channel multigraph
+// (each unidirectional channel contributing weight 1). Computed by power
+// iteration on cI - L deflated against the constant vector. Returns 0
+// for non-uniform concentration, where the bound does not speak to
+// terminal bisection.
+func spectralBisectionLower(g *topo.Graph, c csr, injTerms, ejTerms []int64) float64 {
+	r := g.NumRouters()
+	if r < 2 || !uniformConcentration(r, injTerms, ejTerms) {
+		return 0
+	}
+	// Weighted degree = out-degree + in-degree over the symmetrized
+	// multigraph; with every channel paired (bidirectional topologies)
+	// this is 2x the out-degree.
+	wdeg := make([]float64, r)
+	for v := 0; v < r; v++ {
+		wdeg[v] += float64(c.off[v+1] - c.off[v])
+		for _, w := range c.nbr[c.off[v]:c.off[v+1]] {
+			wdeg[w]++
+		}
+	}
+	shift := 0.0
+	for _, d := range wdeg {
+		if 2*d > shift {
+			shift = 2 * d
+		}
+	}
+	// v_{t+1} = (shift*I - L) v_t, deflated and normalized; the dominant
+	// deflated eigenvalue is shift - lambda_2.
+	v := make([]float64, r)
+	nv := make([]float64, r)
+	for i := range v {
+		// A fixed, non-constant start vector keeps the run deterministic.
+		v[i] = math.Sin(float64(i + 1))
+	}
+	deflate(v)
+	normalize(v)
+	prev := 0.0
+	for iter := 0; iter < 2000; iter++ {
+		// nv = (shift - wdeg[v])*v + sum over symmetrized edges.
+		for i := range nv {
+			nv[i] = (shift - wdeg[i]) * v[i]
+		}
+		for u := 0; u < r; u++ {
+			for _, w := range c.nbr[c.off[u]:c.off[u+1]] {
+				nv[u] += v[w]
+				nv[w] += v[u]
+			}
+		}
+		deflate(nv)
+		ray := dot(nv, v) // Rayleigh quotient of shift - L (v normalized)
+		normalize(nv)
+		v, nv = nv, v
+		if iter > 16 && math.Abs(ray-prev) <= 1e-9*math.Abs(ray) {
+			prev = ray
+			break
+		}
+		prev = ray
+	}
+	lambda2 := shift - prev
+	if lambda2 < 0 {
+		lambda2 = 0
+	}
+	return lambda2 * float64(r) / 4
+}
+
+func deflate(v []float64) {
+	mean := 0.0
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	for i := range v {
+		v[i] -= mean
+	}
+}
+
+func normalize(v []float64) {
+	n := math.Sqrt(dot(v, v))
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// bestCandidateCut returns the fewest unidirectional channels crossing
+// any of a set of candidate terminal-balanced cuts: contiguous
+// router-index prefixes (the natural packaging order) and a Fiedler-
+// style spectral ordering. Each candidate splits the routers at the
+// point where half the terminals are on each side.
+func bestCandidateCut(g *topo.Graph, c csr) float64 {
+	r := g.NumRouters()
+	if r < 2 {
+		return 0
+	}
+	terms := make([]int64, r)
+	var totalTerms int64
+	for n := 0; n < g.NumNodes; n++ {
+		terms[g.NodeRouter[n]]++
+		totalTerms++
+	}
+
+	cutChannels := func(side []bool) float64 {
+		cut := 0
+		for v := 0; v < r; v++ {
+			for _, w := range c.nbr[c.off[v]:c.off[v+1]] {
+				if side[v] != side[w] {
+					cut++
+				}
+			}
+		}
+		return float64(cut)
+	}
+	// Balanced split of an ordering at the half-terminal point.
+	splitAt := func(order []int32) []bool {
+		side := make([]bool, r)
+		var acc int64
+		for _, v := range order {
+			if 2*acc < totalTerms {
+				side[v] = true
+			}
+			acc += terms[v]
+		}
+		return side
+	}
+
+	order := make([]int32, r)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	best := cutChannels(splitAt(order))
+
+	// Spectral ordering: sort routers by the Fiedler-like vector of the
+	// symmetrized graph (recomputed cheaply; exact eigenvector quality is
+	// not required for a candidate cut).
+	fied := fiedlerVector(c, r)
+	sort.SliceStable(order, func(i, j int) bool { return fied[order[i]] < fied[order[j]] })
+	if cut := cutChannels(splitAt(order)); cut < best {
+		best = cut
+	}
+	return best
+}
+
+// fiedlerVector runs a short power iteration for the second Laplacian
+// eigenvector of the symmetrized channel graph.
+func fiedlerVector(c csr, r int) []float64 {
+	wdeg := make([]float64, r)
+	for v := 0; v < r; v++ {
+		wdeg[v] += float64(c.off[v+1] - c.off[v])
+		for _, w := range c.nbr[c.off[v]:c.off[v+1]] {
+			wdeg[w]++
+		}
+	}
+	shift := 0.0
+	for _, d := range wdeg {
+		if 2*d > shift {
+			shift = 2 * d
+		}
+	}
+	v := make([]float64, r)
+	nv := make([]float64, r)
+	for i := range v {
+		v[i] = math.Sin(float64(2*i + 1))
+	}
+	deflate(v)
+	normalize(v)
+	for iter := 0; iter < 200; iter++ {
+		for i := range nv {
+			nv[i] = (shift - wdeg[i]) * v[i]
+		}
+		for u := 0; u < r; u++ {
+			for _, w := range c.nbr[c.off[u]:c.off[u+1]] {
+				nv[u] += v[w]
+				nv[w] += v[u]
+			}
+		}
+		deflate(nv)
+		normalize(nv)
+		v, nv = nv, v
+	}
+	return v
+}

@@ -1,0 +1,199 @@
+// Analytic-evaluation cross-checks: the graph-analytic metrics must
+// reproduce every closed-form hop average the simulator is already
+// validated against, the orbit-accelerated path must agree with the
+// brute-force all-sources sweep, and a 100k-endpoint instance must
+// evaluate quickly enough for interactive design-space exploration.
+package analysis_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"flatnet/internal/analysis"
+	"flatnet/internal/core"
+	"flatnet/internal/topo"
+)
+
+// relEq asserts |got-want| <= tol*max(|want|,1).
+func relEq(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	scale := math.Max(math.Abs(want), 1)
+	if math.Abs(got-want) > tol*scale {
+		t.Errorf("%s: got %.9f, want %.9f", name, got, want)
+	}
+}
+
+// TestAnalyticMatchesClosedForms holds the analytic AvgHops of every
+// seed topology family to the same closed-form averages the zero-load
+// oracle uses, plus the structural constants (diameter, channel count)
+// each family is defined by.
+func TestAnalyticMatchesClosedForms(t *testing.T) {
+	f, err := core.NewFlatFly(8, 2) // 64 nodes, 8 routers, fully connected
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := analysis.AnalyzeTopology(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relEq(t, "flatfly avg hops", m.AvgHops, f.AvgUniformMinHops(), 1e-12)
+	if m.Diameter != 1 {
+		t.Errorf("8-ary 2-flat diameter %d, want 1", m.Diameter)
+	}
+	if m.Channels != 8*7 {
+		t.Errorf("8-ary 2-flat channels %d, want 56", m.Channels)
+	}
+
+	b, err := topo.NewButterfly(8, 2) // 64 nodes, unidirectional stages
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = analysis.AnalyzeTopology(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relEq(t, "butterfly avg hops", m.AvgHops, b.AvgHops(), 1e-12)
+
+	fc, err := topo.NewFoldedClos(8, 4, 8, 2) // 64 nodes, 2:1 taper
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = analysis.AnalyzeTopology(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relEq(t, "folded Clos avg hops", m.AvgHops, fc.AvgUniformHops(), 1e-12)
+
+	h, err := topo.NewHypercube(6) // 64 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = analysis.AnalyzeTopology(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relEq(t, "hypercube avg hops", m.AvgHops, h.AvgUniformHops(), 1e-12)
+	if m.Diameter != 6 {
+		t.Errorf("6-cube diameter %d, want 6", m.Diameter)
+	}
+	// The 6-cube's bisection is known exactly: 32 bidirectional links =
+	// 64 unidirectional channels, met by the ID-prefix cut and by the
+	// spectral bound (lambda_2 of the weight-2 multigraph Laplacian is 4).
+	if m.BisectionUpperChannels != 64 {
+		t.Errorf("6-cube bisection upper %.3f channels, want 64", m.BisectionUpperChannels)
+	}
+	relEq(t, "6-cube spectral bisection lower", m.BisectionLowerChannels, 64, 1e-3)
+
+	s, err := topo.NewSlimFly(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = analysis.AnalyzeTopology(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relEq(t, "slim fly avg hops", m.AvgHops, s.AvgUniformMinHops(), 1e-12)
+	if m.Diameter != 2 {
+		t.Errorf("SF(q=5) diameter %d, want 2", m.Diameter)
+	}
+
+	// Dragonfly routing is hierarchical (local-global-local), so its
+	// AvgUniformMinHops is an upper bound on the true graph average the
+	// analytic sweep measures — two-global shortcuts exist.
+	d, err := topo.NewDragonfly(0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = analysis.AnalyzeTopology(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgHops > d.AvgUniformMinHops()+1e-12 {
+		t.Errorf("dragonfly graph avg hops %.6f exceeds hierarchical %.6f", m.AvgHops, d.AvgUniformMinHops())
+	}
+	if m.Diameter > d.Diameter() {
+		t.Errorf("dragonfly graph diameter %d exceeds hierarchical %d", m.Diameter, d.Diameter())
+	}
+	if m.Diameter > 3 {
+		t.Errorf("dragonfly diameter %d, want <= 3", m.Diameter)
+	}
+}
+
+// TestAnalyticOrbitMatchesSweep pins the orbit-accelerated evaluation to
+// the brute-force all-sources sweep for the orbit-bearing families:
+// every metric must agree (within floating-point summation order).
+func TestAnalyticOrbitMatchesSweep(t *testing.T) {
+	s, err := topo.NewSlimFly(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := topo.NewDragonfly(0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		orbit func() (analysis.Metrics, error)
+		graph *topo.Graph
+	}{
+		{"slimfly", func() (analysis.Metrics, error) { return analysis.AnalyzeTopology(s) }, s.Graph()},
+		{"dragonfly", func() (analysis.Metrics, error) { return analysis.AnalyzeTopology(d) }, d.Graph()},
+	} {
+		om, err := tc.orbit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fm, err := analysis.Analyze(tc.graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if om.Nodes != fm.Nodes || om.Routers != fm.Routers || om.Channels != fm.Channels || om.Diameter != fm.Diameter {
+			t.Errorf("%s: orbit %+v vs sweep %+v", tc.name, om, fm)
+		}
+		relEq(t, tc.name+" avg hops", om.AvgHops, fm.AvgHops, 1e-9)
+		relEq(t, tc.name+" path diversity", om.PathDiversity, fm.PathDiversity, 1e-9)
+		relEq(t, tc.name+" bisection lower", om.BisectionLowerChannels, fm.BisectionLowerChannels, 1e-6)
+		relEq(t, tc.name+" bisection upper", om.BisectionUpperChannels, fm.BisectionUpperChannels, 1e-9)
+	}
+}
+
+// TestAnalytic100k evaluates a 100k-endpoint Slim Fly — far beyond what
+// cycle simulation could touch interactively — and sanity-checks the
+// metrics. SF(q=43) has 3698 routers of degree 65; the default
+// concentration gives 122,034 terminals.
+func TestAnalytic100k(t *testing.T) {
+	start := time.Now()
+	s, err := topo.NewSlimFly(43, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := analysis.AnalyzeTopology(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("SF(q=43): %d terminals, %d routers, diameter %d, avg hops %.4f, diversity %.2f, bisection [%.0f, %.0f] channels in %v",
+		m.Nodes, m.Routers, m.Diameter, m.AvgHops, m.PathDiversity,
+		m.BisectionLowerChannels, m.BisectionUpperChannels, elapsed)
+	if m.Nodes < 100_000 {
+		t.Errorf("only %d terminals, want >= 100k", m.Nodes)
+	}
+	if m.Diameter != 2 {
+		t.Errorf("diameter %d, want 2", m.Diameter)
+	}
+	if m.AvgHops <= 1 || m.AvgHops >= 2 {
+		t.Errorf("avg hops %.4f outside (1, 2)", m.AvgHops)
+	}
+	if m.PathDiversity < 1 {
+		t.Errorf("path diversity %.3f < 1", m.PathDiversity)
+	}
+	if m.BisectionLowerChannels > m.BisectionUpperChannels {
+		t.Errorf("bisection lower %.1f above upper %.1f", m.BisectionLowerChannels, m.BisectionUpperChannels)
+	}
+	// The acceptance target is sub-second without the race detector;
+	// allow CI headroom but catch order-of-magnitude regressions.
+	if elapsed > 10*time.Second {
+		t.Errorf("analytic evaluation took %v, want well under 10s", elapsed)
+	}
+}

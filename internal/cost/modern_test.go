@@ -1,0 +1,90 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSlimFlyConfigSelection checks the q chosen for representative
+// sizes: the smallest valid MMS field size whose default-concentration
+// network reaches n within the radix.
+func TestSlimFlyConfigSelection(t *testing.T) {
+	cases := []struct {
+		n, q int
+	}{
+		{100, 5},    // 2*25*4 = 200
+		{300, 7},    // 2*49*5 = 490
+		{1024, 9},   // 2*81*7 = 1134
+		{2000, 11},  // 2*121*9 = 2178
+		{10000, 19}, // 2*361*15 = 10830
+	}
+	for _, tc := range cases {
+		q, _, _, err := slimFlyConfig(tc.n, 64)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if q != tc.q {
+			t.Errorf("n=%d selected q=%d, want %d", tc.n, q, tc.q)
+		}
+	}
+	// q=4w (and non-prime-powers like 15) must be skipped: n=1000 needs
+	// more than q=7's 490 terminals and lands on q=9 (2*81*7 = 1134).
+	if q, _, _, err := slimFlyConfig(1000, 64); err != nil || q != 9 {
+		t.Errorf("n=1000 selected q=%d (%v), want the prime power 9", q, err)
+	}
+	if _, _, _, err := slimFlyConfig(1<<20, 64); err == nil {
+		t.Error("1M nodes within radix 64 should be unreachable")
+	}
+}
+
+// TestDragonflyConfigSelection checks the balanced-dragonfly h selection
+// and the radix limit.
+func TestDragonflyConfigSelection(t *testing.T) {
+	if h, err := dragonflyConfig(1024, 64); err != nil || h != 4 {
+		t.Errorf("n=1024 selected h=%d (%v), want 4 (2112 terminals)", h, err)
+	}
+	if _, err := dragonflyConfig(1<<24, 64); err == nil {
+		t.Error("16M nodes within radix 64 should be unreachable")
+	}
+}
+
+// TestModernBOMShapes sanity-checks the bills of materials: the Slim Fly
+// fabric is all-global, the dragonfly keeps its local group links off
+// global cables at cabinet scale, and both respect the packaging radix.
+func TestModernBOMShapes(t *testing.T) {
+	p := DefaultPackaging()
+	sf, err := SlimFlyBOM(1024, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.RouterPortsUsed > p.Radix {
+		t.Errorf("slim fly uses %d ports of a radix-%d part", sf.RouterPortsUsed, p.Radix)
+	}
+	for _, g := range sf.Links {
+		if g.Label != "terminal" && g.Class != GlobalCable {
+			t.Errorf("slim fly link %q is %v, want all-global fabric", g.Label, g.Class)
+		}
+	}
+	df, err := DragonflyBOM(1024, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.RouterPortsUsed > p.Radix {
+		t.Errorf("dragonfly uses %d ports of a radix-%d part", df.RouterPortsUsed, p.Radix)
+	}
+	if !strings.Contains(df.Topology, "h=4") {
+		t.Errorf("dragonfly topology label %q", df.Topology)
+	}
+	var sawLocal bool
+	for _, g := range df.Links {
+		if g.Label == "local" {
+			sawLocal = true
+			if g.Class == GlobalCable {
+				t.Errorf("h=4 dragonfly group (32 nodes) billed local links as global cables")
+			}
+		}
+	}
+	if !sawLocal {
+		t.Error("dragonfly BOM has no local link group")
+	}
+}

@@ -1,0 +1,275 @@
+package routing
+
+import (
+	"fmt"
+
+	"flatnet/internal/sim"
+	"flatnet/internal/topo"
+)
+
+// dfTables holds the precomputed terminal tables for one dragonfly. The
+// hierarchical structure makes per-hop decisions pure arithmetic — no
+// all-pairs table is needed — so dragonflies of any size simulate with
+// O(N) table memory. Read-only after construction, like every routing
+// table in this package.
+type dfTables struct {
+	p, a, h    int
+	groups     int
+	numRouters int
+
+	routerOf []int32 // node -> attached router
+	termPort []int32 // node -> ejection port
+}
+
+func newDFTables(d *topo.Dragonfly) *dfTables {
+	t := &dfTables{
+		p: d.P, a: d.A, h: d.H,
+		groups:     d.Groups,
+		numRouters: d.NumRouters,
+	}
+	t.routerOf = make([]int32, d.NumNodes)
+	t.termPort = make([]int32, d.NumNodes)
+	for n := 0; n < d.NumNodes; n++ {
+		t.routerOf[n] = int32(n / d.P)
+		t.termPort[n] = int32(n % d.P)
+	}
+	return t
+}
+
+// group and pos decompose a router index.
+func (t *dfTables) group(r topo.RouterID) int { return int(r) / t.a }
+func (t *dfTables) pos(r topo.RouterID) int   { return int(r) % t.a }
+
+// globalChannel returns, for distinct groups g1 and g2, the owning
+// router position and local slot of group g1's channel to g2.
+func (t *dfTables) globalChannel(g1, g2 int) (ownerPos, slot int) {
+	l := ((g2-g1-1)%t.groups + t.groups) % t.groups
+	return l / t.h, l % t.h
+}
+
+// localPort returns the port from position pos to position peer.
+func (t *dfTables) localPort(pos, peer int) int {
+	p := t.p + peer
+	if peer > pos {
+		p--
+	}
+	return p
+}
+
+// globalPort returns the port for the router's own global slot.
+func (t *dfTables) globalPort(slot int) int { return t.p + t.a - 1 + slot }
+
+// hops returns the hierarchical minimal hop count between routers.
+func (t *dfTables) hops(a, b topo.RouterID) int {
+	if a == b {
+		return 0
+	}
+	g1, g2 := t.group(a), t.group(b)
+	if g1 == g2 {
+		return 1
+	}
+	o1, _ := t.globalChannel(g1, g2)
+	o2, _ := t.globalChannel(g2, g1)
+	h := 1
+	if t.pos(a) != o1 {
+		h++
+	}
+	if t.pos(b) != o2 {
+		h++
+	}
+	return h
+}
+
+// dfBase carries the shared dragonfly routing helpers.
+type dfBase struct {
+	d *topo.Dragonfly
+	t *dfTables
+}
+
+// eject returns the terminal-port decision at the destination router.
+func (b dfBase) eject(p *sim.Packet) sim.OutRef {
+	return sim.OutRef{Port: int(b.t.termPort[p.Dst]), VC: 0}
+}
+
+// minHopPort returns the next output port of the canonical hierarchical
+// minimal route from r toward dst (r != dst): local to the global-channel
+// owner, the global channel itself, then local to the destination router.
+// The route is unique, so minimal dragonfly routing is oblivious.
+func (b dfBase) minHopPort(r, dst topo.RouterID) int {
+	t := b.t
+	g1, g2 := t.group(r), t.group(dst)
+	if g1 == g2 {
+		return t.localPort(t.pos(r), t.pos(dst))
+	}
+	o1, slot := t.globalChannel(g1, g2)
+	if t.pos(r) == o1 {
+		return t.globalPort(slot)
+	}
+	return t.localPort(t.pos(r), o1)
+}
+
+// minHop returns the minimal-route decision with hops-remaining VC
+// selection offset by vcBase: VC indices strictly decrease along every
+// route, the deadlock-freedom argument for the hierarchical path.
+func (b dfBase) minHop(r, dst topo.RouterID, vcBase int) sim.OutRef {
+	return sim.OutRef{Port: b.minHopPort(r, dst), VC: vcBase + b.t.hops(r, dst) - 1}
+}
+
+// DragonflyMin is minimal (hierarchical) routing on the dragonfly: the
+// unique local-global-local path, 3 hops-remaining VCs.
+type DragonflyMin struct{ dfBase }
+
+// NewDragonflyMin builds minimal routing for a dragonfly.
+func NewDragonflyMin(d *topo.Dragonfly) *DragonflyMin {
+	return &DragonflyMin{dfBase{d, newDFTables(d)}}
+}
+
+// Name implements sim.Algorithm.
+func (a *DragonflyMin) Name() string { return "DF MIN" }
+
+// NumVCs implements sim.Algorithm.
+func (a *DragonflyMin) NumVCs() int { return 3 }
+
+// Sequential implements sim.Algorithm.
+func (a *DragonflyMin) Sequential() bool { return false }
+
+// Route implements sim.Algorithm.
+func (a *DragonflyMin) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
+	r := view.Router()
+	dst := topo.RouterID(a.t.routerOf[p.Dst])
+	if r == dst {
+		return a.eject(p)
+	}
+	return a.minHop(r, dst, 0)
+}
+
+// DragonflyValiant is Valiant routing on the dragonfly: minimally to a
+// uniformly random intermediate router, then minimally to the
+// destination. Each phase takes at most 3 hops; 6 VCs in two bands keep
+// VC indices strictly decreasing along every route.
+type DragonflyValiant struct{ dfBase }
+
+// NewDragonflyValiant builds VAL for a dragonfly.
+func NewDragonflyValiant(d *topo.Dragonfly) *DragonflyValiant {
+	return &DragonflyValiant{dfBase{d, newDFTables(d)}}
+}
+
+// Name implements sim.Algorithm.
+func (a *DragonflyValiant) Name() string { return "DF VAL" }
+
+// NumVCs implements sim.Algorithm.
+func (a *DragonflyValiant) NumVCs() int { return 6 }
+
+// Sequential implements sim.Algorithm.
+func (a *DragonflyValiant) Sequential() bool { return false }
+
+// Route implements sim.Algorithm.
+func (a *DragonflyValiant) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
+	r := view.Router()
+	dst := topo.RouterID(a.t.routerOf[p.Dst])
+	if p.Phase == sim.PhaseNew {
+		p.Inter = int32(view.RNG().Intn(a.t.numRouters))
+		p.Phase = sim.PhaseNonMinimal
+	}
+	if p.Phase == sim.PhaseNonMinimal && (topo.RouterID(p.Inter) == r || topo.RouterID(p.Inter) == dst) {
+		p.Phase = sim.PhaseMinimal
+	}
+	if p.Phase == sim.PhaseNonMinimal {
+		return a.minHop(r, topo.RouterID(p.Inter), 3)
+	}
+	if r == dst {
+		return a.eject(p)
+	}
+	return a.minHop(r, dst, 0)
+}
+
+// DragonflyUGAL is UGAL on the dragonfly: the source router compares the
+// minimal route against a Valiant route through a random intermediate by
+// queue-length x hop-count products — the dragonfly paper's own load-
+// balancing scheme, here in source-router form with per-packet choice.
+type DragonflyUGAL struct {
+	dfBase
+	seq bool
+}
+
+// NewDragonflyUGAL builds greedy UGAL for a dragonfly.
+func NewDragonflyUGAL(d *topo.Dragonfly) *DragonflyUGAL {
+	return &DragonflyUGAL{dfBase{d, newDFTables(d)}, false}
+}
+
+// NewDragonflyUGALS builds UGAL-S (sequential allocation) for a
+// dragonfly.
+func NewDragonflyUGALS(d *topo.Dragonfly) *DragonflyUGAL {
+	return &DragonflyUGAL{dfBase{d, newDFTables(d)}, true}
+}
+
+// Name implements sim.Algorithm.
+func (a *DragonflyUGAL) Name() string {
+	if a.seq {
+		return "DF UGAL-S"
+	}
+	return "DF UGAL"
+}
+
+// NumVCs implements sim.Algorithm.
+func (a *DragonflyUGAL) NumVCs() int { return 6 }
+
+// Sequential implements sim.Algorithm.
+func (a *DragonflyUGAL) Sequential() bool { return a.seq }
+
+// Route implements sim.Algorithm.
+func (a *DragonflyUGAL) Route(view *sim.RouterView, p *sim.Packet) sim.OutRef {
+	r := view.Router()
+	dst := topo.RouterID(a.t.routerOf[p.Dst])
+	if p.Phase == sim.PhaseNew {
+		a.decide(view, p, r, dst)
+	}
+	if p.Phase == sim.PhaseNonMinimal && topo.RouterID(p.Inter) == r {
+		p.Phase = sim.PhaseMinimal
+	}
+	if p.Phase == sim.PhaseNonMinimal {
+		return a.minHop(r, topo.RouterID(p.Inter), 3)
+	}
+	if r == dst {
+		return a.eject(p)
+	}
+	return a.minHop(r, dst, 0)
+}
+
+// decide makes the source-router minimal-vs-Valiant choice by comparing
+// the first-hop queues scaled by path hop counts.
+func (a *DragonflyUGAL) decide(view *sim.RouterView, p *sim.Packet, r, dst topo.RouterID) {
+	b := topo.RouterID(view.RNG().Intn(a.t.numRouters))
+	if b == r || b == dst || r == dst {
+		p.Phase = sim.PhaseMinimal
+		return
+	}
+	hMin := a.t.hops(r, dst)
+	hNM := a.t.hops(r, b) + a.t.hops(b, dst)
+	qMin := view.QueueEstPort(a.minHopPort(r, dst))
+	qNM := view.QueueEstPort(a.minHopPort(r, b))
+	if qMin*hMin <= qNM*hNM {
+		p.Phase = sim.PhaseMinimal
+	} else {
+		p.Phase = sim.PhaseNonMinimal
+		p.Inter = int32(b)
+	}
+}
+
+// NewDragonflyAlgorithm constructs a dragonfly algorithm by name: "min",
+// "val", "ugal" or "ugal-s" (long forms "DF MIN", "DF VAL", "DF UGAL",
+// "DF UGAL-S").
+func NewDragonflyAlgorithm(name string, d *topo.Dragonfly) (sim.Algorithm, error) {
+	switch name {
+	case "min", "MIN", "MIN AD", "DF MIN":
+		return NewDragonflyMin(d), nil
+	case "val", "VAL", "DF VAL":
+		return NewDragonflyValiant(d), nil
+	case "ugal", "UGAL", "DF UGAL":
+		return NewDragonflyUGAL(d), nil
+	case "ugal-s", "UGAL-S", "DF UGAL-S":
+		return NewDragonflyUGALS(d), nil
+	default:
+		return nil, fmt.Errorf("routing: unknown dragonfly algorithm %q", name)
+	}
+}

@@ -99,17 +99,28 @@ func ZeroLoadFor(g *topo.Graph, cfg sim.Config, avgHops float64) (ZeroLoadModel,
 // Every router hosts the same number of terminals, so uniform traffic
 // over nodes is uniform over router pairs.
 func ValiantUniformHops(f *core.FlatFly) float64 {
-	R := f.NumRouters
+	return ValiantHopsFromDist(f.NumRouters, func(a, b int) int {
+		return f.MinHops(topo.RouterID(a), topo.RouterID(b))
+	})
+}
+
+// ValiantHopsFromDist returns VAL's exact expected inter-router hop
+// count under uniform traffic for any topology whose routers host equal
+// terminal counts, given its minimal hop-count function: the O(R³)
+// enumeration of every (source, destination, intermediate) triple with
+// the same collapse rule (i == r or i == d routes minimally) every VAL
+// implementation in this package uses. The Slim Fly and dragonfly
+// zero-load oracles are built on this.
+func ValiantHopsFromDist(R int, dist func(a, b int) int) float64 {
 	total := 0
 	for r := 0; r < R; r++ {
 		for d := 0; d < R; d++ {
-			direct := f.MinHops(topo.RouterID(r), topo.RouterID(d))
+			direct := dist(r, d)
 			for i := 0; i < R; i++ {
 				if i == r || i == d {
 					total += direct
 				} else {
-					total += f.MinHops(topo.RouterID(r), topo.RouterID(i)) +
-						f.MinHops(topo.RouterID(i), topo.RouterID(d))
+					total += dist(r, i) + dist(i, d)
 				}
 			}
 		}

@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestAnalyticCrossCheck runs every seed network family through the
+// engine twice — once in ModeAnalytic and once as a near-zero-load
+// simulation with minimal routing — and cross-checks the two: the
+// graph-analytic hop average must agree with the hops the cycle
+// simulator actually measures, and the analytic zero-load latency must
+// sit at (or just below) the simulated latency, which still carries a
+// little queueing even at 2% load.
+func TestAnalyticCrossCheck(t *testing.T) {
+	cases := []struct {
+		name string
+		base Job
+		alg  string
+		// hopSlack is the one-sided allowance for simulated hops above
+		// the analytic minimum: UR sampling noise for most families,
+		// plus the hierarchical-routing detour for the dragonfly (its
+		// local-global-local paths skip the two-global shortcuts a BFS
+		// finds, so routed hops exceed the graph minimum).
+		hopSlack float64
+	}{
+		{"flatfly", Job{Net: "flatfly", K: 4, N: 2}, "MIN AD", 0.1},
+		{"butterfly", Job{Net: "butterfly", K: 4, N: 2}, "destination", 0.1},
+		{"foldedclos", Job{Net: "foldedclos", K: 4, Uplinks: 2, Leaves: 4, Middles: 1}, "adaptive sequential", 0.1},
+		{"hypercube", Job{Net: "hypercube", N: 5}, "e-cube", 0.1},
+		{"slimfly", Job{Net: "slimfly", Q: 5}, "min", 0.1},
+		{"dragonfly", Job{Net: "dragonfly", H: 2}, "min", 0.6},
+	}
+	eng := &Engine{Workers: 2}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			aj := tc.base
+			aj.Mode = ModeAnalytic
+			aj.Seed = 7
+			sj := tc.base
+			sj.Alg, sj.Pattern, sj.Load = tc.alg, "UR", 0.02
+			sj.Warmup, sj.Measure, sj.Seed, sj.BufPerPort = 300, 2000, 7, 32
+			res, err := eng.Run(context.Background(), []Job{aj, sj})
+			if err != nil {
+				t.Fatal(err)
+			}
+			an, sim := res[0], res[1]
+			if an.Analytic == nil {
+				t.Fatal("ModeAnalytic result has no analytic metrics")
+			}
+			m := an.Analytic
+			if m.Nodes <= 0 || m.Routers <= 0 || m.Channels <= 0 || m.Diameter <= 0 {
+				t.Fatalf("degenerate analytic metrics: %+v", m)
+			}
+			if sim.Point.Saturated {
+				t.Fatalf("%s saturated at 2%% load", tc.name)
+			}
+			dh := sim.Point.AvgHops - m.AvgHops
+			if dh < -0.1 || dh > tc.hopSlack {
+				t.Errorf("hops: analytic %.4f vs simulated %.4f (slack %.2f)",
+					m.AvgHops, sim.Point.AvgHops, tc.hopSlack)
+			}
+			// The analytic Point carries the zero-load latency model;
+			// at 2% load the simulator adds serialization and light
+			// queueing on top, never runs below it by more than a cycle.
+			zl := an.Point.AvgLatency
+			if zl <= 0 {
+				t.Fatal("analytic result has no zero-load latency")
+			}
+			if sim.Point.AvgLatency < zl-1 || sim.Point.AvgLatency > zl+3 {
+				t.Errorf("latency: zero-load model %.2f vs simulated %.2f at 2%% load",
+					zl, sim.Point.AvgLatency)
+			}
+			if math.IsNaN(m.PathDiversity) || m.PathDiversity < 1 {
+				t.Errorf("path diversity %.3f < 1", m.PathDiversity)
+			}
+		})
+	}
+}
+
+// TestAnalyticCachedRoundTrip pins the ModeAnalytic result through the
+// JSON-lines cache: a second run must serve the identical metrics from
+// cache without rebuilding the topology.
+func TestAnalyticCachedRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/cache.jsonl"
+	job := Job{Net: "slimfly", Q: 5, Mode: ModeAnalytic, Seed: 1}
+	run := func() Result {
+		cache, err := OpenCache(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cache.Close()
+		eng := &Engine{Workers: 1, Cache: cache}
+		res, err := eng.Run(context.Background(), []Job{job})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0]
+	}
+	cold, warm := run(), run()
+	if !warm.Cached {
+		t.Fatal("second analytic run missed the cache")
+	}
+	if cold.Analytic == nil || warm.Analytic == nil {
+		t.Fatal("analytic metrics lost in the cache round trip")
+	}
+	if *cold.Analytic != *warm.Analytic {
+		t.Fatalf("cache changed the metrics: %+v vs %+v", cold.Analytic, warm.Analytic)
+	}
+	if cold.Point.AvgLatency != warm.Point.AvgLatency {
+		t.Fatalf("cache changed zero-load latency: %v vs %v", cold.Point.AvgLatency, warm.Point.AvgLatency)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"flatnet/internal/analysis"
 	"flatnet/internal/check"
 	"flatnet/internal/core"
 	"flatnet/internal/routing"
@@ -23,6 +24,11 @@ import (
 //	"foldedclos" K terminals per leaf, Uplinks, Leaves, Middles.
 //	             Alg: "adaptive sequential".
 //	"hypercube"  N-dimensional binary hypercube. Alg: "e-cube".
+//	"slimfly"    MMS Slim Fly over GF(Q), P terminals per router
+//	             (0 = ⌈k'/2⌉). Algs: "min", "val", "ugal", "ugal-s".
+//	"dragonfly"  H global channels per router, A routers per group
+//	             (0 = 2H), P terminals per router (0 = H).
+//	             Algs: "min", "val", "ugal", "ugal-s".
 func (j Job) build() (*topo.Graph, sim.Algorithm, traffic.Pattern, sim.Config, error) {
 	j = j.Normalize()
 	var (
@@ -77,6 +83,26 @@ func (j Job) build() (*topo.Graph, sim.Algorithm, traffic.Pattern, sim.Config, e
 		}
 		alg = routing.NewECube(h)
 		g = h.Graph()
+	case "slimfly":
+		s, err := topo.NewSlimFly(j.Q, j.P)
+		if err != nil {
+			return nil, nil, nil, sim.Config{}, err
+		}
+		alg, err = routing.NewSlimFlyAlgorithm(j.Alg, s)
+		if err != nil {
+			return nil, nil, nil, sim.Config{}, err
+		}
+		g = s.Graph()
+	case "dragonfly":
+		d, err := topo.NewDragonfly(j.P, j.A, j.H)
+		if err != nil {
+			return nil, nil, nil, sim.Config{}, err
+		}
+		alg, err = routing.NewDragonflyAlgorithm(j.Alg, d)
+		if err != nil {
+			return nil, nil, nil, sim.Config{}, err
+		}
+		g = d.Graph()
 	default:
 		return nil, nil, nil, sim.Config{}, fmt.Errorf("sweep: unknown network constructor %q", j.Net)
 	}
@@ -94,6 +120,63 @@ func (j Job) build() (*topo.Graph, sim.Algorithm, traffic.Pattern, sim.Config, e
 		RouterDelay: j.RouterDelay,
 	}
 	return g, alg, pat, cfg, nil
+}
+
+// buildTopology constructs just the job's topology. ModeAnalytic needs
+// no routing algorithm or traffic pattern, so analytic jobs may leave
+// Alg and Pattern empty.
+func (j Job) buildTopology() (topo.Topology, error) {
+	j = j.Normalize()
+	switch j.Net {
+	case "flatfly":
+		var opts []core.Option
+		if j.ChannelLatency != 1 {
+			opts = append(opts, core.WithChannelLatency(j.ChannelLatency))
+		}
+		if j.Multiplicity != 1 {
+			opts = append(opts, core.WithMultiplicity(j.Multiplicity))
+		}
+		return core.NewFlatFly(j.K, j.N, opts...)
+	case "butterfly":
+		return topo.NewButterfly(j.K, j.N)
+	case "foldedclos":
+		return topo.NewFoldedClos(j.K, j.Uplinks, j.Leaves, j.Middles)
+	case "hypercube":
+		return topo.NewHypercube(j.N)
+	case "slimfly":
+		return topo.NewSlimFly(j.Q, j.P)
+	case "dragonfly":
+		return topo.NewDragonfly(j.P, j.A, j.H)
+	default:
+		return nil, fmt.Errorf("sweep: unknown network constructor %q", j.Net)
+	}
+}
+
+// runAnalytic fills the result for ModeAnalytic: graph-analytic metrics
+// from internal/analysis plus the zero-load latency model standing in
+// for the load-point sample, so analytic sweeps emit the same Result
+// shape as simulated ones.
+func (j Job) runAnalytic(res *Result) error {
+	t, err := j.buildTopology()
+	if err != nil {
+		return err
+	}
+	m, err := analysis.AnalyzeTopology(t)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{
+		PacketSize:  j.PacketSize,
+		RouterDelay: j.RouterDelay,
+	}
+	zl, err := routing.ZeroLoadFor(t.Graph(), cfg, m.AvgHops)
+	if err != nil {
+		return err
+	}
+	res.Analytic = &m
+	res.Point.AvgHops = m.AvgHops
+	res.Point.AvgLatency = zl.Latency()
+	return nil
 }
 
 // buildPattern constructs the job's traffic pattern for an n-node
@@ -175,6 +258,12 @@ func (j Job) RunChecked(stop func() bool) (Result, error) {
 func (j Job) run(stop func() bool, attach func(*sim.Network), resume io.Reader, checkpoint io.Writer) (Result, error) {
 	j = j.Normalize()
 	res := Result{Job: j, Hash: j.Hash()}
+	if j.Mode == ModeAnalytic {
+		if err := j.runAnalytic(&res); err != nil {
+			return res, fmt.Errorf("sweep: job %s (%s %s): %w", j.Hash()[:12], j.Net, j.Mode, err)
+		}
+		return res, nil
+	}
 	g, alg, pat, cfg, err := j.build()
 	if err != nil {
 		return res, err

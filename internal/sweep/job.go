@@ -17,7 +17,9 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"flatnet/internal/analysis"
 	"flatnet/internal/sim"
+	"flatnet/internal/topo"
 )
 
 // Execution modes.
@@ -28,6 +30,11 @@ const (
 	ModeSaturation = "saturation"
 	// ModeBatch runs the Fig. 5 batch experiment.
 	ModeBatch = "batch"
+	// ModeAnalytic skips cycle simulation entirely: the job's topology is
+	// evaluated graph-analytically (internal/analysis) and the zero-load
+	// latency model fills the load-point fields, so extreme-scale
+	// design-space sweeps run in milliseconds.
+	ModeAnalytic = "analytic"
 )
 
 // Job describes one independent simulation. The zero values of optional
@@ -48,6 +55,15 @@ type Job struct {
 	Uplinks int `json:"uplinks,omitempty"`
 	Leaves  int `json:"leaves,omitempty"`
 	Middles int `json:"middles,omitempty"`
+	// Q is the Slim Fly field size (an odd prime power).
+	Q int `json:"q,omitempty"`
+	// A and H are the dragonfly routers-per-group and global channels
+	// per router (A 0 means the balanced 2H).
+	A int `json:"a,omitempty"`
+	H int `json:"h,omitempty"`
+	// P is the terminals-per-router concentration for slimfly and
+	// dragonfly (0 means each family's balanced default).
+	P int `json:"p,omitempty"`
 	// ChannelLatency is the inter-router channel latency in cycles
 	// (0 means the topology default of 1). Flattened butterfly only.
 	ChannelLatency int `json:"channel_latency,omitempty"`
@@ -119,8 +135,28 @@ func (j Job) Normalize() Job {
 	if j.ChannelLatency == 0 {
 		j.ChannelLatency = 1
 	}
+	switch j.Net {
+	case "slimfly":
+		if j.P == 0 {
+			j.P = topo.SlimFlyDefaultConc(j.Q)
+		}
+	case "dragonfly":
+		if j.A == 0 {
+			j.A = 2 * j.H
+		}
+		if j.P == 0 {
+			j.P = j.H
+		}
+	}
 	if j.Conc == 0 {
-		j.Conc = j.K
+		switch j.Net {
+		case "slimfly":
+			j.Conc = j.P
+		case "dragonfly":
+			j.Conc = j.A * j.P // one group of terminals
+		default:
+			j.Conc = j.K
+		}
 	}
 	switch j.Pattern {
 	case "uniform":
@@ -149,15 +185,21 @@ const hashVersion = "sweep/v2"
 
 // canonical renders the normalized job as a fixed-order field string.
 // Every field participates, so changing any field — including seed and
-// scale — yields a different hash.
+// scale — yields a different hash. The slimfly/dragonfly parameters are
+// appended only when set, so the encodings (and cached hashes) of every
+// pre-existing job are unchanged.
 func (j Job) canonical() string {
 	n := j.Normalize()
-	return fmt.Sprintf("%s|net=%s|k=%d|n=%d|up=%d|lv=%d|mid=%d|cl=%d|mul=%d|alg=%s|pat=%s|conc=%d|mode=%s|load=%.17g|warm=%d|meas=%d|max=%d|batch=%d|seed=%d|buf=%d|pkt=%d|spd=%d|age=%t|rd=%d",
+	s := fmt.Sprintf("%s|net=%s|k=%d|n=%d|up=%d|lv=%d|mid=%d|cl=%d|mul=%d|alg=%s|pat=%s|conc=%d|mode=%s|load=%.17g|warm=%d|meas=%d|max=%d|batch=%d|seed=%d|buf=%d|pkt=%d|spd=%d|age=%t|rd=%d",
 		hashVersion, n.Net, n.K, n.N, n.Uplinks, n.Leaves, n.Middles,
 		n.ChannelLatency, n.Multiplicity, n.Alg, n.Pattern, n.Conc,
 		n.Mode, n.Load, n.Warmup, n.Measure, n.MaxCycles, n.BatchSize,
 		n.Seed, n.BufPerPort, n.PacketSize, n.Speedup, n.AgeArbiter,
 		n.RouterDelay)
+	if n.Q != 0 || n.A != 0 || n.H != 0 || n.P != 0 {
+		s += fmt.Sprintf("|q=%d|a=%d|h=%d|p=%d", n.Q, n.A, n.H, n.P)
+	}
+	return s
 }
 
 // Hash returns the job's stable content hash: the hex SHA-256 of the
@@ -178,6 +220,10 @@ type Result struct {
 	Point sim.LoadPointResult `json:"point,omitempty"`
 	// Batch holds the ModeBatch outcome.
 	Batch sim.BatchResult `json:"batch,omitempty"`
+	// Analytic holds the graph-analytic metrics for ModeAnalytic (nil
+	// for simulated modes, so pre-existing pinned results are
+	// byte-identical).
+	Analytic *analysis.Metrics `json:"analytic,omitempty"`
 	// ElapsedSeconds is the wall-clock cost of the original simulation
 	// (preserved verbatim for cache hits).
 	ElapsedSeconds float64 `json:"elapsed_s"`

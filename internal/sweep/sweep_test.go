@@ -61,6 +61,10 @@ func TestJobHashInvalidation(t *testing.T) {
 		"Uplinks":        func(j *Job) { j.Uplinks = 2 },
 		"Leaves":         func(j *Job) { j.Leaves = 4 },
 		"Middles":        func(j *Job) { j.Middles = 2 },
+		"Q":              func(j *Job) { j.Q = 5 },
+		"A":              func(j *Job) { j.A = 4 },
+		"H":              func(j *Job) { j.H = 2 },
+		"P":              func(j *Job) { j.P = 3 },
 		"ChannelLatency": func(j *Job) { j.ChannelLatency = 16 },
 		"Multiplicity":   func(j *Job) { j.Multiplicity = 2 },
 		"Alg":            func(j *Job) { j.Alg = "VAL" },

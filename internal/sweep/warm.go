@@ -27,6 +27,9 @@ func (j Job) WarmKey() string {
 		n.ChannelLatency, n.Multiplicity, n.Alg, n.Pattern, n.Conc,
 		n.Load, n.Warmup, n.Seed, n.BufPerPort, n.PacketSize, n.Speedup,
 		n.AgeArbiter, n.RouterDelay)
+	if n.Q != 0 || n.A != 0 || n.H != 0 || n.P != 0 {
+		s += fmt.Sprintf("|q=%d|a=%d|h=%d|p=%d", n.Q, n.A, n.H, n.P)
+	}
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:])
 }

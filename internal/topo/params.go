@@ -1,0 +1,28 @@
+package topo
+
+import "fmt"
+
+// ParamError reports an invalid topology-constructor parameter as a
+// structured, matchable error: callers can errors.As on *ParamError to
+// distinguish bad parameters from environmental failures, and tests can
+// assert on the offending field instead of an error-string substring.
+type ParamError struct {
+	// Topology names the constructor family, e.g. "slimfly".
+	Topology string
+	// Param names the offending parameter, e.g. "q".
+	Param string
+	// Value is the rejected value.
+	Value int
+	// Reason explains the constraint the value violated.
+	Reason string
+}
+
+// Error implements error.
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("topo: %s: parameter %s = %d: %s", e.Topology, e.Param, e.Value, e.Reason)
+}
+
+// paramErr builds a *ParamError.
+func paramErr(topology, param string, value int, reason string) error {
+	return &ParamError{Topology: topology, Param: param, Value: value, Reason: reason}
+}

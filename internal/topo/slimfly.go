@@ -1,0 +1,297 @@
+package topo
+
+import "fmt"
+
+// SlimFly is the McKay-Miller-Širáň (MMS) diameter-2 topology of the
+// Slim Fly proposal (Besta & Hoefler): routers are labeled (s, x, y) with
+// s ∈ {0,1} and x, y ∈ GF(q) for an odd prime power q = 4w + δ,
+// δ ∈ {1, -1}. Within block 0, (0,x,y) ~ (0,x,y') iff y-y' ∈ X; within
+// block 1, (1,m,c) ~ (1,m,c') iff c-c' ∈ X'; across blocks,
+// (0,x,y) ~ (1,m,c) iff y = mx + c. With the Cayley generator sets X/X'
+// below the graph has 2q² routers of network degree k' = (3q-δ)/2 and
+// diameter 2 — asymptotically optimal router count for that degree
+// (≈ 0.89 of the Moore bound).
+//
+// Each router hosts P terminals; the Slim Fly default is P = ⌈k'/2⌉,
+// which balances terminal and network bandwidth at the paper's operating
+// point.
+type SlimFly struct {
+	Q     int // field size (odd prime power, q ≢ 0 mod 4)
+	Delta int // +1 for q ≡ 1 (mod 4), -1 for q ≡ 3 (mod 4)
+	P     int // terminals per router
+
+	NetworkDegree int // k' = (3q-δ)/2
+	NumRouters    int // 2q²
+	NumNodes      int // 2q²·P
+
+	diameter int
+	avgHops  float64 // router-pair average minimal hops, self pairs included
+
+	adj [][]int32 // sorted neighbor lists; port p+i reaches adj[r][i]
+	g   *Graph
+}
+
+// SlimFlyDefaultConc returns the default terminals-per-router for field
+// size q: ⌈k'/2⌉. It does not validate q.
+func SlimFlyDefaultConc(q int) int {
+	delta := 1
+	if q%4 == 3 {
+		delta = -1
+	}
+	return ((3*q-delta)/2 + 1) / 2
+}
+
+// NewSlimFly constructs the MMS Slim Fly over GF(q) with p terminals per
+// router; p = 0 selects the default ⌈k'/2⌉. The construction verifies at
+// build time — via BFS from one representative of each router orbit —
+// that the generator sets actually yield diameter 2, so an invalid
+// parameter combination is a returned error, never a silently wrong
+// network.
+func NewSlimFly(q, p int) (*SlimFly, error) {
+	if q < 5 {
+		return nil, paramErr("slimfly", "q", q, "MMS graphs need an odd prime power q >= 5")
+	}
+	switch q % 4 {
+	case 0, 2:
+		return nil, paramErr("slimfly", "q", q, "MMS graphs need q ≡ 1 or 3 (mod 4); even q has no valid generator sets")
+	}
+	f, ok := newGF(q)
+	if !ok {
+		return nil, paramErr("slimfly", "q", q, "not a prime power")
+	}
+	delta := 1
+	if q%4 == 3 {
+		delta = -1
+	}
+	if p == 0 {
+		p = SlimFlyDefaultConc(q)
+	}
+	if p < 1 {
+		return nil, paramErr("slimfly", "p", p, "need at least one terminal per router")
+	}
+	s := &SlimFly{
+		Q:             q,
+		Delta:         delta,
+		P:             p,
+		NetworkDegree: (3*q - delta) / 2,
+		NumRouters:    2 * q * q,
+		NumNodes:      2 * q * q * p,
+	}
+	if s.NumNodes > 1<<22 {
+		return nil, paramErr("slimfly", "q", q, fmt.Sprintf("network of %d terminals exceeds the 4M construction cap", s.NumNodes))
+	}
+	if err := s.build(f); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// generators returns the Cayley sets X (block 0) and X' (block 1). For
+// q = 4w+1 these are the even and odd powers of a primitive element ξ
+// (the nonzero quadratic residues and non-residues); both are symmetric
+// because -1 = ξ^(q-1)/2 is an even power. For q = 4w-1 (Hafner's case)
+// they are ±{ξ^0, ξ^2, ..., ξ^(2w-2)} and ±{ξ^1, ξ^3, ..., ξ^(2w-1)},
+// symmetric by construction.
+func (s *SlimFly) generators(f *gf) (x, xp []int) {
+	q := s.Q
+	if s.Delta == 1 {
+		for i := 0; i < (q-1)/2; i++ {
+			x = append(x, f.xi(2*i))
+			xp = append(xp, f.xi(2*i+1))
+		}
+		return x, xp
+	}
+	w := (q + 1) / 4
+	for i := 0; i < w; i++ {
+		x = append(x, f.xi(2*i), f.neg(f.xi(2*i)))
+		xp = append(xp, f.xi(2*i+1), f.neg(f.xi(2*i+1)))
+	}
+	return x, xp
+}
+
+// routerID maps (s, x, y) to a router index.
+func (s *SlimFly) routerID(block, x, y int) int { return block*s.Q*s.Q + x*s.Q + y }
+
+// build constructs the adjacency lists and the channel graph, then
+// verifies regularity and diameter 2.
+func (s *SlimFly) build(f *gf) error {
+	q, r := s.Q, s.NumRouters
+	x, xp := s.generators(f)
+	s.adj = make([][]int32, r)
+	for i := range s.adj {
+		s.adj[i] = make([]int32, 0, s.NetworkDegree)
+	}
+	addEdge := func(a, b int) {
+		s.adj[a] = append(s.adj[a], int32(b))
+	}
+	// Intra-block Cayley edges. The generator sets are symmetric
+	// (g ∈ X ⇒ -g ∈ X), so appending y+g for every g covers both
+	// directions of each undirected edge.
+	for xx := 0; xx < q; xx++ {
+		for y := 0; y < q; y++ {
+			for _, g := range x {
+				addEdge(s.routerID(0, xx, y), s.routerID(0, xx, f.add(y, g)))
+			}
+			for _, g := range xp {
+				addEdge(s.routerID(1, xx, y), s.routerID(1, xx, f.add(y, g)))
+			}
+		}
+	}
+	// Cross-block edges: (0,x,y) ~ (1,m,c) iff y = mx + c.
+	for xx := 0; xx < q; xx++ {
+		for m := 0; m < q; m++ {
+			for c := 0; c < q; c++ {
+				y := f.add(f.mul(m, xx), c)
+				addEdge(s.routerID(0, xx, y), s.routerID(1, m, c))
+				addEdge(s.routerID(1, m, c), s.routerID(0, xx, y))
+			}
+		}
+	}
+	for i := range s.adj {
+		if len(s.adj[i]) != s.NetworkDegree {
+			return paramErr("slimfly", "q", q,
+				fmt.Sprintf("construction is not %d-regular (router %d has degree %d)", s.NetworkDegree, i, len(s.adj[i])))
+		}
+		sortInt32(s.adj[i])
+		for j := 1; j < len(s.adj[i]); j++ {
+			if s.adj[i][j] == s.adj[i][j-1] {
+				return paramErr("slimfly", "q", q, "generator sets produce a multigraph")
+			}
+		}
+	}
+	// Verify diameter 2 and precompute the exact router-pair hop average
+	// from one BFS per router orbit (see RouterOrbits).
+	reps, sizes := s.RouterOrbits()
+	total := 0
+	s.diameter = 0
+	for i, rep := range reps {
+		dist := s.bfs(int(rep))
+		for _, d := range dist {
+			if d > s.diameter {
+				s.diameter = d
+			}
+			total += d * sizes[i]
+		}
+	}
+	if s.diameter > 2 {
+		return paramErr("slimfly", "q", q,
+			fmt.Sprintf("generator sets give diameter %d, not the MMS diameter 2", s.diameter))
+	}
+	s.avgHops = float64(total) / float64(r*r)
+
+	// Channel graph: ports [0,P) are terminals, port P+i reaches adj[r][i].
+	g := NewGraph(s.Name(), s.NumNodes, r)
+	ports := s.P + s.NetworkDegree
+	for i := range g.Routers {
+		g.Routers[i].In = make([]InPort, ports)
+		g.Routers[i].Out = make([]OutPort, ports)
+	}
+	for node := 0; node < s.NumNodes; node++ {
+		g.AttachNode(NodeID(node), RouterID(node/s.P), node%s.P, node%s.P, 1)
+	}
+	for a := 0; a < r; a++ {
+		for i, b := range s.adj[a] {
+			if a < int(b) {
+				g.ConnectBidi(RouterID(a), s.P+i, RouterID(b), s.P+s.portIndex(int(b), a), 1)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	s.g = g
+	return nil
+}
+
+// portIndex returns the index of neighbor b in router a's sorted
+// adjacency list (binary search; the lists are sorted).
+func (s *SlimFly) portIndex(a, b int) int {
+	lst := s.adj[a]
+	lo, hi := 0, len(lst)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(lst[mid]) < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// bfs returns hop distances from src over the router graph.
+func (s *SlimFly) bfs(src int) []int {
+	dist := make([]int, s.NumRouters)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, s.NumRouters)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		v := int(queue[0])
+		queue = queue[1:]
+		for _, w := range s.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Name returns e.g. "SF(q=5,p=4)".
+func (s *SlimFly) Name() string { return fmt.Sprintf("SF(q=%d,p=%d)", s.Q, s.P) }
+
+// Graph returns the channel graph.
+func (s *SlimFly) Graph() *Graph { return s.g }
+
+// Adjacency returns router r's sorted neighbor list; network port P+i on
+// r reaches Adjacency(r)[i]. The returned slice is shared — read only.
+func (s *SlimFly) Adjacency(r RouterID) []int32 { return s.adj[r] }
+
+// Diameter returns the verified graph diameter (2 for every valid q).
+func (s *SlimFly) Diameter() int { return s.diameter }
+
+// MinHopsFrom returns the minimal hop counts from src to every router
+// (a fresh slice; BFS over the adjacency lists).
+func (s *SlimFly) MinHopsFrom(src RouterID) []int { return s.bfs(int(src)) }
+
+// AvgUniformMinHops returns the exact router-pair average minimal hop
+// count with self pairs included — uniform traffic over nodes is uniform
+// over router pairs since every router hosts P terminals.
+func (s *SlimFly) AvgUniformMinHops() float64 { return s.avgHops }
+
+// RouterOrbits returns one representative per orbit of the translation
+// automorphisms φ_{a,b}: (0,x,y) → (0,x+a,y+b), (1,m,c) → (1,m,c+b-ma)
+// — valid for every generator-set choice since they preserve the
+// differences y-y', c-c' and the incidence y = mx+c. Block 0 is a single
+// orbit of size q²; block 1 splits into one orbit of size q per slope m.
+// Per-orbit BFS then yields exact global metrics from q+1 sources
+// instead of 2q².
+func (s *SlimFly) RouterOrbits() ([]RouterID, []int) {
+	q := s.Q
+	reps := make([]RouterID, 0, q+1)
+	sizes := make([]int, 0, q+1)
+	reps = append(reps, RouterID(s.routerID(0, 0, 0)))
+	sizes = append(sizes, q*q)
+	for m := 0; m < q; m++ {
+		reps = append(reps, RouterID(s.routerID(1, m, 0)))
+		sizes = append(sizes, q)
+	}
+	return reps, sizes
+}
+
+// sortInt32 sorts in place (insertion sort; lists are short).
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
