@@ -68,6 +68,7 @@ quickfigs:
 
 fuzz:
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=30s ./internal/sim/
+	$(GO) test -fuzz=FuzzTraceReplay -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzInvariants -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzShardEquivalence -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzSnapshotRoundTrip -fuzztime=30s ./internal/sim/

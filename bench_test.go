@@ -352,6 +352,41 @@ func BenchmarkSimulatorCyclesParallel(b *testing.B) {
 	b.ReportMetric(float64(ff.NumNodes), "nodes")
 }
 
+// BenchmarkSourceOverhead prices the workload-engine indirection: the
+// exact BenchmarkSimulatorCycles workload driven through the Source
+// interface (a Bernoulli-wrapped uniform pattern installed with
+// SetSource, injected by Generate) instead of the direct
+// GenerateBernoulli call. The interface dispatch must stay
+// allocation-free in steady state and within noise of the direct path.
+func BenchmarkSourceOverhead(b *testing.B) {
+	ff, err := flatnet.NewFlatFly(32, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := flatnet.NewNetwork(ff.Graph(), flatnet.NewClosAD(ff), flatnet.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := n.SetSource(flatnet.NewBernoulliSource(flatnet.NewUniform(ff.NumNodes))); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := n.Generate(0.5); err != nil {
+			b.Fatal(err)
+		}
+		n.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Generate(0.5); err != nil {
+			b.Fatal(err)
+		}
+		n.Step()
+	}
+	b.ReportMetric(float64(ff.NumNodes), "nodes")
+}
+
 // BenchmarkSnapshotRestore measures the checkpoint/restore round trip
 // on the §3.2 network: one op serializes the warmed 1024-terminal
 // 32-ary 2-flat (Network.Snapshot) and rebuilds an identical network

@@ -36,6 +36,7 @@ import (
 var benchNames = []string{
 	"BenchmarkSimulatorCycles",
 	"BenchmarkSimulatorCyclesParallel",
+	"BenchmarkSourceOverhead",
 	"BenchmarkSnapshotRestore",
 }
 

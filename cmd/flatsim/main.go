@@ -11,7 +11,13 @@
 //	flatsim -topo butterfly -k 32 -n 2 -pattern uniform -load 0.9
 //	flatsim -topo ff -k 32 -n 2 -alg ugal-s -pattern worstcase -batch 16
 //	flatsim -topo ff -k 32 -n 2 -alg clos -window 4            # request-reply
+//	flatsim -topo ff -k 16 -n 2 -pattern uniform -burst-peak 0.9 -burst-len 24 -load 0.3
+//	flatsim -topo ff -k 16 -n 2 -pattern hotspot -hot 0,5 -hotfrac 0.2 -load 0.3
+//	flatsim -topo ff -k 8 -n 2 -alg ugal -collective allreduce -chunk 4
 //	flatsim -topo ff -k 16 -n 2 -trace run.trace               # replay a trace
+//	flatsim -topo ff -k 8 -n 2 -load 0.4 -trace-out wl.jsonl   # record a workload
+//	flatsim -topo ff -k 8 -n 2 -trace-in wl.jsonl -workers 4   # replay it
+//	flatsim -pattern help                                      # list the registry
 //	flatsim -topo ff -k 8 -n 2 -load 0.4 -flittrace run.json   # flit trace
 //	flatsim -topo ff -k 16 -n 2 -sweep -listen localhost:6060  # live metrics
 //	flatsim -topo sf -q 5 -alg ugal -pattern uniform -load 0.5 # Slim Fly
@@ -45,11 +51,19 @@ func main() {
 	flag.IntVar(&o.ga, "ga", 0, "dragonfly routers per group (0 = balanced 2h)")
 	flag.IntVar(&o.conc, "p", 0, "sf/df terminals per router (0 = balanced default)")
 	flag.StringVar(&o.alg, "alg", "clos", "ff algorithm: min | val | ugal | ugal-s | clos (sf/df: min | val | ugal | ugal-s)")
-	flag.StringVar(&o.pattern, "pattern", "uniform", "traffic: uniform | worstcase | bitcomp | tornado")
+	flag.StringVar(&o.pattern, "pattern", "uniform", "traffic pattern from the registry ('help' lists every name and alias)")
+	flag.StringVar(&o.hot, "hot", "", "comma-separated hot terminals for the hotspot pattern / incast sink (default 0)")
+	flag.Float64Var(&o.hotfrac, "hotfrac", 0, "fraction of hotspot traffic directed at the hot set (0 = default 0.1)")
+	flag.Float64Var(&o.burstPeak, "burst-peak", 0, "bursty on/off arrivals: peak injection rate while ON (0 = Bernoulli)")
+	flag.Float64Var(&o.burstLen, "burst-len", 16, "mean burst length in cycles for -burst-peak")
 	flag.Float64Var(&o.load, "load", 0.5, "offered load (fraction of capacity)")
 	flag.BoolVar(&o.sweep, "sweep", false, "sweep loads 0.1..0.95 instead of one point")
 	flag.IntVar(&o.batch, "batch", 0, "run a batch experiment of this size instead of open-loop")
+	flag.StringVar(&o.collective, "collective", "", "run a collective schedule to completion: alltoall | allreduce (-load adds background traffic)")
+	flag.IntVar(&o.chunk, "chunk", 1, "packets per transfer for -collective")
 	flag.StringVar(&o.trace, "trace", "", "replay a text trace file (cycle src dst per line) instead of synthetic traffic")
+	flag.StringVar(&o.traceIn, "trace-in", "", "replay a JSONL workload trace (one {\"cycle\",\"src\",\"dst\",\"size\"} object per line), streamed with bounded memory")
+	flag.StringVar(&o.traceOut, "trace-out", "", "record the run's injections to this JSONL workload trace (single -load runs)")
 	flag.IntVar(&o.window, "window", 0, "run a closed-loop request-reply workload with this many outstanding requests per node")
 	flag.IntVar(&o.warmup, "warmup", 1000, "warm-up cycles")
 	flag.IntVar(&o.measure, "measure", 1000, "measurement cycles")
@@ -64,6 +78,11 @@ func main() {
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "write a snapshot of the warmed network to this file when the measurement window opens (single -load runs; disables probe reporting)")
 	flag.StringVar(&o.restore, "restore", "", "restore the network from a -checkpoint snapshot instead of warming up (single -load runs; pass the same topology/-seed/-buf/-warmup as the checkpointing run)")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "load" {
+			o.loadSet = true
+		}
+	})
 
 	// First SIGINT/SIGTERM asks the run to stop at the next poll (the
 	// runner returns an error wrapping sim.ErrStopped); a second signal
@@ -100,8 +119,17 @@ type runOpts struct {
 	analytic   bool
 	alg        string
 	pattern    string
+	hot        string
+	hotfrac    float64
+	burstPeak  float64
+	burstLen   float64
 	trace      string
+	traceIn    string
+	traceOut   string
+	collective string
+	chunk      int
 	load       float64
+	loadSet    bool
 	sweep      bool
 	batch      int
 	window     int
@@ -124,6 +152,21 @@ type runOpts struct {
 var telemetryReg = flatnet.NewTelemetryRegistry()
 
 func run(o runOpts) error {
+	if o.pattern == "help" || o.pattern == "list" {
+		byName := map[string]string{}
+		for a, name := range flatnet.PatternAliases() {
+			byName[name] = a
+		}
+		fmt.Println("patterns (every name builds from the topology and seed alone):")
+		for _, name := range flatnet.PatternNames() {
+			if a, ok := byName[name]; ok {
+				fmt.Printf("  %-10s (alias %s)\n", name, a)
+			} else {
+				fmt.Printf("  %s\n", name)
+			}
+		}
+		return nil
+	}
 	if o.listen != "" {
 		telemetryReg.Gauge("sim_live", func() any { return sim.Live.Snapshot() })
 		if err := telemetryReg.Publish("flatnet"); err != nil {
@@ -222,27 +265,41 @@ func run(o runOpts) error {
 		return fmt.Errorf("unknown topology %q", o.topo)
 	}
 
-	var p flatnet.Pattern
-	switch o.pattern {
-	case "uniform":
-		p = flatnet.NewUniform(nodes)
-	case "worstcase":
-		if conc < 1 {
-			conc = 1
-		}
-		p = flatnet.NewWorstCase(conc, nodes/conc)
-	case "bitcomp":
-		p = flatnet.NewBitComplement(nodes)
-	case "tornado":
-		p = flatnet.NewTornado(conc, nodes/conc)
-	default:
-		return fmt.Errorf("unknown pattern %q", o.pattern)
+	hot, err := parseHotList(o.hot)
+	if err != nil {
+		return err
+	}
+	p, err := flatnet.BuildPattern(o.pattern, flatnet.PatternCtx{
+		Nodes: nodes, Seed: o.seed, Concentration: conc,
+		HotSet: hot, HotFraction: o.hotfrac,
+	})
+	if err != nil {
+		return fmt.Errorf("%w (try -pattern help)", err)
 	}
 
 	cfg := flatnet.Config{Seed: o.seed, BufPerPort: o.buf}
 
-	if o.check && (o.trace != "" || o.window > 0) {
-		return fmt.Errorf("-check applies to open-loop runs (-load, -sweep, -batch)")
+	if o.check && (o.trace != "" || o.traceIn != "" || o.window > 0) {
+		return fmt.Errorf("-check applies to open-loop runs (-load, -sweep, -batch, -collective)")
+	}
+	if o.burstPeak > 0 {
+		if o.batch > 0 || o.window > 0 || o.trace != "" || o.traceIn != "" {
+			return fmt.Errorf("-burst-peak applies to open-loop runs (-load, -sweep, -collective)")
+		}
+		if o.burstPeak > 1 {
+			return fmt.Errorf("-burst-peak must be in (0, 1], got %g", o.burstPeak)
+		}
+	}
+	if o.traceIn != "" && (o.sweep || o.batch > 0 || o.window > 0 || o.trace != "" ||
+		o.flitTrace != "" || o.checkpoint != "" || o.restore != "" || o.traceOut != "") {
+		return fmt.Errorf("-trace-in replays a recorded workload; drop the synthetic-traffic flags")
+	}
+	if o.traceOut != "" && (o.sweep || o.batch > 0 || o.window > 0 || o.trace != "" || o.collective != "") {
+		return fmt.Errorf("-trace-out records single-point open-loop runs (-load)")
+	}
+	if o.collective != "" && (o.sweep || o.batch > 0 || o.window > 0 || o.trace != "" ||
+		o.traceIn != "" || o.checkpoint != "" || o.restore != "" || o.flitTrace != "") {
+		return fmt.Errorf("-collective runs one schedule to completion; drop the other mode flags")
 	}
 	// Instrumented runs force the sequential scheduler: say so instead of
 	// silently ignoring -workers.
@@ -255,7 +312,10 @@ func run(o runOpts) error {
 			fmt.Fprintln(os.Stderr, "flatsim: -flittrace forces the sequential scheduler; ignoring -workers")
 			o.workers = 1
 		case o.trace != "":
-			fmt.Fprintln(os.Stderr, "flatsim: trace replay is sequential; ignoring -workers")
+			fmt.Fprintln(os.Stderr, "flatsim: text trace replay is sequential; ignoring -workers (-trace-in replays in parallel)")
+			o.workers = 1
+		case o.traceOut != "":
+			fmt.Fprintln(os.Stderr, "flatsim: -trace-out forces the sequential scheduler; ignoring -workers")
 			o.workers = 1
 		}
 	}
@@ -263,13 +323,21 @@ func run(o runOpts) error {
 		if o.sweep || o.batch > 0 || o.trace != "" || o.window > 0 {
 			return fmt.Errorf("-checkpoint/-restore apply to single-point open-loop runs (-load)")
 		}
-		if o.check || o.flitTrace != "" {
-			return fmt.Errorf("-checkpoint/-restore cannot run with -check or -flittrace (the snapshot would be unfaithful)")
+		if o.check || o.flitTrace != "" || o.traceOut != "" {
+			return fmt.Errorf("-checkpoint/-restore cannot run with -check, -flittrace or -trace-out (the snapshot would be unfaithful)")
 		}
 	}
 
 	if o.trace != "" {
 		return runTrace(g, alg, cfg, o.trace, o.stop)
+	}
+
+	if o.traceIn != "" {
+		return runTraceJSONL(g, alg, cfg, o)
+	}
+
+	if o.collective != "" {
+		return runCollective(g, alg, cfg, p, o)
 	}
 
 	if o.window > 0 {
@@ -313,7 +381,18 @@ func run(o runOpts) error {
 	}
 
 	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
-	rc := flatnet.RunConfig{Pattern: p, Warmup: o.warmup, Measure: o.measure, Stop: o.stop, Workers: o.workers}
+	if o.burstPeak > 0 {
+		// The on/off process cannot offer more than its peak rate; sweep
+		// the feasible prefix.
+		kept := loads[:0]
+		for _, l := range loads {
+			if l <= o.burstPeak {
+				kept = append(kept, l)
+			}
+		}
+		loads = kept
+	}
+	rc := flatnet.RunConfig{Pattern: p, Burst: burstConfig(o), Warmup: o.warmup, Measure: o.measure, Stop: o.stop, Workers: o.workers}
 	checked := func() error { return nil }
 	if o.check {
 		checked = flatnet.ArmCheck(&rc, flatnet.CheckConfig{})
@@ -391,8 +470,13 @@ func runAnalytic(o runOpts) error {
 // recording a flit trace.
 func runPoint(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, p flatnet.Pattern, o runOpts) error {
 	rc := flatnet.RunConfig{
-		Load: o.load, Pattern: p, Warmup: o.warmup, Measure: o.measure,
+		Load: o.load, Pattern: p, Burst: burstConfig(o),
+		Warmup: o.warmup, Measure: o.measure,
 		Stop: o.stop, Workers: o.workers,
+	}
+	var recorded *[]flatnet.TraceEntry
+	if o.traceOut != "" {
+		rc.Attach = func(n *flatnet.Network) { recorded = n.RecordTrace() }
 	}
 	var tracer *flatnet.Tracer
 	if o.flitTrace != "" {
@@ -482,6 +566,20 @@ func runPoint(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, p fla
 		fmt.Printf("flit trace: %d events (%d evicted) -> %s\n",
 			tracer.Len(), tracer.Dropped(), o.flitTrace)
 	}
+	if recorded != nil {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		werr := flatnet.WriteWorkloadJSONL(f, *recorded)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("workload trace: %d packets -> %s\n", len(*recorded), o.traceOut)
+	}
 	return nil
 }
 
@@ -502,6 +600,112 @@ func writeFlitTrace(path string, t *flatnet.Tracer) error {
 		werr = cerr
 	}
 	return werr
+}
+
+// parseHotList parses the -hot comma-separated terminal list.
+func parseHotList(s string) ([]flatnet.NodeID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	hot := make([]flatnet.NodeID, 0, len(parts))
+	for _, part := range parts {
+		var id int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &id); err != nil || id < 0 {
+			return nil, fmt.Errorf("-hot: bad terminal %q (want a comma-separated list of node ids)", part)
+		}
+		hot = append(hot, flatnet.NodeID(id))
+	}
+	return hot, nil
+}
+
+// burstConfig returns the on/off arrival process selected by
+// -burst-peak/-burst-len, nil for the default Bernoulli process.
+func burstConfig(o runOpts) *flatnet.BurstConfig {
+	if o.burstPeak <= 0 {
+		return nil
+	}
+	return &flatnet.BurstConfig{Peak: o.burstPeak, AvgBurst: o.burstLen}
+}
+
+// runCollective executes one collective schedule to completion,
+// optionally contending with background traffic at -load.
+func runCollective(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, p flatnet.Pattern, o runOpts) error {
+	cc := flatnet.CollectiveConfig{
+		Kind: o.collective, Packets: o.chunk,
+		Warmup: o.warmup, Stop: o.stop, Workers: o.workers,
+	}
+	if o.loadSet && o.load > 0 {
+		cc.Load = o.load
+		if bc := burstConfig(o); bc != nil {
+			src, err := flatnet.NewOnOffSource(p, bc.Peak, bc.AvgBurst)
+			if err != nil {
+				return err
+			}
+			cc.Source = src
+		} else {
+			cc.Pattern = p
+		}
+	}
+	var san *flatnet.Sanitizer
+	if o.check {
+		cc.Attach = func(n *flatnet.Network) { san = flatnet.AttachChecker(n, flatnet.CheckConfig{}) }
+	}
+	res, err := flatnet.RunCollective(g, alg, cfg, cc)
+	if err != nil {
+		return err
+	}
+	if san != nil {
+		if err := san.Finalize(); err != nil {
+			return err
+		}
+	}
+	bg := "quiet network"
+	if cc.Load > 0 {
+		bg = fmt.Sprintf("background %s at load %.2f", o.pattern, cc.Load)
+	}
+	fmt.Printf("%s over %d nodes (%s): %d phases, %d transfers, %d packets\n",
+		res.Kind, res.Nodes, bg, res.Phases, res.Transfers, res.Packets)
+	fmt.Printf("completed in %d cycles (max phase %d, avg phase %.1f)\n",
+		res.Cycles, res.MaxPhaseCycles, res.AvgPhaseCycles)
+	return nil
+}
+
+// runTraceJSONL streams a JSONL workload trace through the network —
+// bounded memory, any worker count — and reports delivery latency.
+func runTraceJSONL(g *flatnet.Graph, alg flatnet.Algorithm, cfg flatnet.Config, o runOpts) error {
+	f, err := os.Open(o.traceIn)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := flatnet.NewNetwork(g, alg, cfg)
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+	if o.workers > 1 {
+		if err := n.SetWorkers(o.workers); err != nil {
+			return err
+		}
+	}
+	var latSum float64
+	var delivered int64
+	n.OnDeliver(func(p *flatnet.Packet, cycle int64) {
+		latSum += float64(cycle - p.InjectCycle)
+		delivered++
+	})
+	injected, err := n.ReplayTrace(flatnet.NewTraceScanner(f), 0)
+	if err != nil {
+		return err
+	}
+	avg := 0.0
+	if delivered > 0 {
+		avg = latSum / float64(delivered)
+	}
+	fmt.Printf("replayed %d packets in %d cycles; avg latency %.2f cycles\n",
+		injected, n.Cycle(), avg)
+	return nil
 }
 
 // runTrace replays a recorded trace to completion and reports latency.

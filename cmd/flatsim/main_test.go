@@ -133,6 +133,92 @@ func TestRunTraceReplay(t *testing.T) {
 	}
 }
 
+func TestRunWorkloads(t *testing.T) {
+	// Every registry name (and the sweep aliases) is accepted.
+	for _, p := range []string{"hotspot", "incast", "shuffle", "transpose", "randperm", "HS", "UR"} {
+		o := opts()
+		o.k, o.alg, o.pattern, o.load = 4, "min", p, 0.1
+		o.warmup, o.measure = 100, 100
+		if err := run(o); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+	o := opts()
+	o.k, o.alg, o.pattern, o.load = 4, "min", "hotspot", 0.1
+	o.hot, o.hotfrac = "1,3", 0.3
+	o.warmup, o.measure = 100, 100
+	if err := run(o); err != nil {
+		t.Errorf("parameterized hotspot: %v", err)
+	}
+	o.hot = "1,x"
+	if err := run(o); err == nil {
+		t.Error("malformed -hot accepted")
+	}
+	o = opts()
+	o.k, o.load = 4, 0.2
+	o.burstPeak, o.burstLen = 0.8, 12
+	o.warmup, o.measure = 100, 100
+	if err := run(o); err != nil {
+		t.Errorf("bursty point: %v", err)
+	}
+	o.load = 0.9 // exceeds the on/off peak rate
+	if err := run(o); err == nil {
+		t.Error("load above -burst-peak accepted")
+	}
+	if err := run(runOpts{pattern: "help"}); err != nil {
+		t.Errorf("-pattern help: %v", err)
+	}
+}
+
+func TestRunCollectives(t *testing.T) {
+	o := opts()
+	o.k, o.alg = 4, "min"
+	o.collective, o.chunk = "alltoall", 2
+	if err := run(o); err != nil {
+		t.Errorf("quiet alltoall: %v", err)
+	}
+	o = opts()
+	o.k, o.alg = 4, "min"
+	o.collective = "allreduce"
+	o.load, o.loadSet = 0.2, true
+	o.warmup = 100
+	o.check = true
+	if err := run(o); err != nil {
+		t.Errorf("loaded allreduce: %v", err)
+	}
+	o.collective = "bogus"
+	if err := run(o); err == nil {
+		t.Error("unknown collective accepted")
+	}
+}
+
+func TestRunWorkloadTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wl.jsonl")
+	o := opts()
+	o.k, o.load = 4, 0.2
+	o.warmup, o.measure = 100, 100
+	o.traceOut = path
+	if err := run(o); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	o = opts()
+	o.k = 4
+	o.traceIn = path
+	o.workers = 4
+	if err := run(o); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	o.traceIn = filepath.Join(dir, "missing.jsonl")
+	if err := run(o); err == nil {
+		t.Error("missing -trace-in accepted")
+	}
+	o.traceIn, o.sweep = path, true
+	if err := run(o); err == nil {
+		t.Error("-trace-in with -sweep accepted")
+	}
+}
+
 func TestRunClosedLoop(t *testing.T) {
 	o := opts()
 	o.k, o.load = 4, 0

@@ -24,7 +24,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec.SetPattern(wc)
+	src, err := flatnet.NewOnOffSource(wc, 1.0, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.SetSource(src); err != nil {
+		log.Fatal(err)
+	}
 	trace := rec.RecordTrace()
 	var latRec float64
 	var nRec int64
@@ -33,7 +39,7 @@ func main() {
 		nRec++
 	})
 	for i := 0; i < 2000; i++ {
-		if err := rec.GenerateOnOff(0.25, 1.0, 20); err != nil {
+		if err := rec.Generate(0.25); err != nil {
 			log.Fatal(err)
 		}
 		rec.Step()

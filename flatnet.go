@@ -180,6 +180,20 @@ type (
 	// live network via Network.StartTransfer — the primitive behind the
 	// nocd co-simulation service (internal/nocsvc).
 	Transfer = sim.Transfer
+	// CollectiveConfig describes one collective schedule (all-to-all or
+	// ring all-reduce) run to end-to-end completion.
+	CollectiveConfig = sim.CollectiveConfig
+	// CollectiveResult reports a completed collective schedule.
+	CollectiveResult = sim.CollectiveResult
+	// TraceScanner streams a JSONL workload trace with bounded memory;
+	// feed it to Network.ReplayTrace.
+	TraceScanner = sim.TraceScanner
+)
+
+// Collective kinds for CollectiveConfig.Kind.
+const (
+	CollectiveAllToAll  = sim.CollectiveAllToAll
+	CollectiveAllReduce = sim.CollectiveAllReduce
 )
 
 // Simulator entry points.
@@ -196,9 +210,20 @@ var (
 	SaturationThroughput = sim.SaturationThroughput
 	// RunBatch executes the Fig. 5 batch experiment.
 	RunBatch = sim.RunBatch
-	// ReadTrace and WriteTrace serialize traffic traces.
+	// ReadTrace and WriteTrace serialize traffic traces in the legacy
+	// whitespace text format.
 	ReadTrace  = sim.ReadTrace
 	WriteTrace = sim.WriteTrace
+	// WriteWorkloadJSONL and ReadWorkloadJSONL serialize workload traces
+	// in the JSONL format ({"cycle":C,"src":S,"dst":D,"size":K} lines);
+	// NewTraceScanner streams one for Network.ReplayTrace without
+	// holding it in memory.
+	WriteWorkloadJSONL = sim.WriteTraceJSONL
+	ReadWorkloadJSONL  = sim.ReadTraceJSONL
+	NewTraceScanner    = sim.NewTraceScanner
+	// RunCollective executes an all-to-all or ring all-reduce schedule
+	// and measures its end-to-end completion cycles.
+	RunCollective = sim.RunCollective
 	// RunClosedLoop executes a request-reply (remote-memory-access)
 	// workload with a per-node outstanding-request window.
 	RunClosedLoop = sim.RunClosedLoop
@@ -273,10 +298,21 @@ var (
 	ArmCheck = check.Arm
 )
 
-// Traffic patterns.
+// Traffic patterns and workload sources (see DESIGN.md §16).
 type (
 	// Pattern maps sources to destinations.
 	Pattern = traffic.Pattern
+	// Source is a full workload source: the arrival process (when each
+	// node injects) plus the destination process (where packets go).
+	// Install one with Network.SetSource or Run's WithSource.
+	Source = traffic.Source
+	// PatternCtx parameterizes BuildPattern/BuildWorkload — network size,
+	// seed, concentration for the group patterns, hot set for
+	// hotspot/incast.
+	PatternCtx = traffic.BuildCtx
+	// UnknownPatternError reports a pattern name missing from the
+	// registry, listing the known names.
+	UnknownPatternError = traffic.UnknownPatternError
 )
 
 var (
@@ -284,13 +320,36 @@ var (
 	NewUniform = traffic.NewUniform
 	// NewWorstCase is the §3.2 adversarial pattern (router i to i+1).
 	NewWorstCase = traffic.NewWorstCase
-	// NewBitComplement, NewTranspose, NewShuffle, NewTornado and NewFixed
-	// are additional standard patterns.
+	// NewBitComplement, NewTranspose, NewShuffle, NewTornado, NewRandPerm
+	// and NewFixed are additional standard patterns.
 	NewBitComplement = traffic.NewBitComplement
 	NewTranspose     = traffic.NewTranspose
 	NewShuffle       = traffic.NewShuffle
 	NewTornado       = traffic.NewTornado
+	NewRandPerm      = traffic.NewRandPerm
 	NewFixed         = traffic.NewFixed
+	// NewHotspot skews a fraction of uniform traffic onto a hot node set;
+	// NewIncast is its many-to-one degenerate (every node to one sink).
+	NewHotspot = traffic.NewHotspot
+	NewIncast  = traffic.NewIncast
+	// NewBernoulliSource wraps a pattern in the default memoryless
+	// Bernoulli arrival process — exactly the legacy injection behavior.
+	NewBernoulliSource = traffic.NewBernoulli
+	// NewOnOffSource wraps a pattern in the two-state on/off (MMPP)
+	// arrival process: bursts at a peak rate with the duty cycle chosen
+	// so the long-run average equals the offered load.
+	NewOnOffSource = traffic.NewOnOff
+	// BuildPattern constructs a registry pattern by name ("uniform",
+	// "hotspot", sweep short forms UR/HS/..., see PatternNames);
+	// BuildWorkload wraps it in the Bernoulli arrival process.
+	BuildPattern  = traffic.Build
+	BuildWorkload = traffic.BuildSource
+	// PatternNames lists the registry's canonical pattern names.
+	PatternNames = traffic.Names
+	// CanonicalPattern resolves a name or alias to its registry name;
+	// PatternAliases returns the short-form alias table (UR, WC, HS, ...).
+	CanonicalPattern = traffic.Canonical
+	PatternAliases   = traffic.Aliases
 )
 
 // Routing algorithms.

@@ -6,6 +6,7 @@
 package check_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -15,7 +16,11 @@ import (
 	"path/filepath"
 	"testing"
 
+	"flatnet/internal/core"
+	"flatnet/internal/routing"
+	"flatnet/internal/sim"
 	"flatnet/internal/sweep"
+	"flatnet/internal/traffic"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden-run corpus from current simulator output")
@@ -55,6 +60,20 @@ var goldenJobs = []sweep.Job{
 		Mode: sweep.ModeLoad, Load: 0.2, Warmup: 200, Measure: 300, Seed: 7},
 	{Net: "dragonfly", H: 2, Alg: "ugal", Pattern: "UR",
 		Mode: sweep.ModeLoad, Load: 0.5, Warmup: 200, Measure: 300, Seed: 7},
+	// Workload-engine coverage: the MMPP/burst arrival process, the
+	// parameterized hotspot and incast patterns, and a collective
+	// schedule contending with background traffic.
+	{Net: "flatfly", K: 4, N: 2, Alg: "UGAL-S", Pattern: "UR",
+		BurstPeak: 0.8, BurstLen: 12,
+		Mode: sweep.ModeLoad, Load: 0.3, Warmup: 200, Measure: 300, Seed: 7},
+	{Net: "flatfly", K: 4, N: 2, Alg: "MIN AD", Pattern: "HS",
+		Hot: []int{0, 5}, HotFraction: 0.2,
+		Mode: sweep.ModeLoad, Load: 0.2, Warmup: 200, Measure: 300, Seed: 7},
+	{Net: "flatfly", K: 4, N: 2, Alg: "CLOS AD", Pattern: "IC",
+		Mode: sweep.ModeLoad, Load: 0.05, Warmup: 200, Measure: 300, Seed: 7},
+	{Net: "flatfly", K: 4, N: 2, Alg: "UGAL-S", Pattern: "UR",
+		Mode: sweep.ModeCollective, Collective: "alltoall", Chunk: 2,
+		Load: 0.1, Warmup: 100, Seed: 7},
 }
 
 // goldenName derives the corpus file name from the job's identity.
@@ -268,6 +287,118 @@ func TestGoldenCorpusWarmRestored(t *testing.T) {
 					simWorkers, diff, got, want)
 			}
 		}
+	}
+}
+
+// TestGoldenTraceReplay pins the JSONL workload-trace path: a fixed
+// bursty run records its injections to testdata/golden/workload.jsonl,
+// and replaying that trace — at 1 and 4 cycle-core workers — must
+// reproduce the pinned delivery summary exactly. Regenerated with
+// -update like the rest of the corpus.
+func TestGoldenTraceReplay(t *testing.T) {
+	ff, err := core.NewFlatFly(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 7
+	tracePath := filepath.Join("testdata", "golden", "workload.jsonl")
+	sumPath := filepath.Join("testdata", "golden", "workload_replay.json")
+
+	if *update {
+		n, err := sim.New(ff.Graph(), routing.NewUGALS(ff), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		entries := n.RecordTrace()
+		src, err := traffic.NewOnOff(traffic.NewUniform(n.NumNodes()), 0.8, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.SetSource(src); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 400; i++ {
+			if err := n.Generate(0.25); err != nil {
+				t.Fatal(err)
+			}
+			n.Step()
+		}
+		var buf bytes.Buffer
+		if err := sim.WriteTraceJSONL(&buf, *entries); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type summary struct {
+		Injected  int64   `json:"injected"`
+		Delivered int64   `json:"delivered"`
+		Cycles    int64   `json:"cycles"`
+		AvgLat    float64 `json:"avg_latency"`
+	}
+	replay := func(workers int) summary {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		defer f.Close()
+		n, err := sim.New(ff.Graph(), routing.NewUGALS(ff), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		if workers > 1 {
+			if err := n.SetWorkers(workers); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var s summary
+		var latSum float64
+		n.OnDeliver(func(p *sim.Packet, cycle int64) {
+			s.Delivered++
+			latSum += float64(cycle - p.InjectCycle)
+		})
+		s.Injected, err = n.ReplayTrace(sim.NewTraceScanner(f), 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Cycles = n.Cycle()
+		s.AvgLat = latSum / float64(s.Delivered)
+		return s
+	}
+
+	got := replay(1)
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *update {
+		if err := os.WriteFile(sumPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(sumPath)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		var gv, wv any
+		if err := json.Unmarshal(data, &gv); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(want, &wv); err != nil {
+			t.Fatal(err)
+		}
+		if diff, ok := jsonEq("replay", wv, gv); !ok {
+			t.Errorf("trace replay drifted from the corpus at %s\ngot:  %s\nwant: %s", diff, data, want)
+		}
+	}
+	if par := replay(4); par != got {
+		t.Errorf("parallel trace replay diverged:\nworkers=1 %+v\nworkers=4 %+v", got, par)
 	}
 }
 

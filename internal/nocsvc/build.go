@@ -14,6 +14,7 @@ const (
 	defaultPacketSize = 1
 	defaultFlitBytes  = 8
 	defaultWarmup     = 1000
+	defaultBurstLen   = 16
 )
 
 // normalize fills an OpenParams' defaulted fields in place.
@@ -41,21 +42,27 @@ func (p *OpenParams) normalize() {
 	} else if canon, ok := traffic.Canonical(p.Pattern); ok {
 		p.Pattern = canon
 	}
+	if p.BurstPeak > 0 && p.BurstLen == 0 {
+		p.BurstLen = defaultBurstLen
+	}
 }
 
 // buildNetwork materializes a session's channel graph, routing algorithm
-// and simulator configuration from normalized OpenParams. maxNodes is
-// the server's admission-control cap on topology size; 0 means no cap.
-func buildNetwork(p OpenParams, maxNodes int) (*topo.Graph, sim.Algorithm, sim.Config, *Error) {
+// and simulator configuration from normalized OpenParams. It also
+// reports the topology's concentration (terminals per router group),
+// which seeds the group traffic patterns. maxNodes is the server's
+// admission-control cap on topology size; 0 means no cap.
+func buildNetwork(p OpenParams, maxNodes int) (*topo.Graph, sim.Algorithm, sim.Config, int, *Error) {
 	var (
-		g   *topo.Graph
-		alg sim.Algorithm
+		g    *topo.Graph
+		alg  sim.Algorithm
+		conc int
 	)
 	switch p.Topology {
 	case "flatfly":
 		f, err := core.NewFlatFly(p.K, p.N)
 		if err != nil {
-			return nil, nil, sim.Config{}, errf(CodeBadRequest, "open: %v", err)
+			return nil, nil, sim.Config{}, 0, errf(CodeBadRequest, "open: %v", err)
 		}
 		r := p.Routing
 		if r == "" {
@@ -63,49 +70,53 @@ func buildNetwork(p OpenParams, maxNodes int) (*topo.Graph, sim.Algorithm, sim.C
 		}
 		alg, err = routing.NewFlatFlyAlgorithm(r, f)
 		if err != nil {
-			return nil, nil, sim.Config{}, errf(CodeBadRequest, "open: %v", err)
+			return nil, nil, sim.Config{}, 0, errf(CodeBadRequest, "open: %v", err)
 		}
 		g = f.Graph()
+		conc = f.K
 	case "butterfly":
 		b, err := topo.NewButterfly(p.K, p.N)
 		if err != nil {
-			return nil, nil, sim.Config{}, errf(CodeBadRequest, "open: %v", err)
+			return nil, nil, sim.Config{}, 0, errf(CodeBadRequest, "open: %v", err)
 		}
 		if p.Routing != "" && p.Routing != "destination" {
-			return nil, nil, sim.Config{}, errf(CodeBadRequest,
+			return nil, nil, sim.Config{}, 0, errf(CodeBadRequest,
 				"open: butterfly supports routing \"destination\", not %q", p.Routing)
 		}
 		alg = routing.NewButterflyDest(b)
 		g = b.Graph()
+		conc = p.K
 	case "foldedclos":
 		// The §3.3 equal-bisection convention: 2:1 tapered, K terminals
 		// per leaf, K^N total terminals (mirrors cmd/flatsim's -taper 2).
 		fc, err := topo.TaperedClosForNodes(pow(p.K, p.N), 2*p.K)
 		if err != nil {
-			return nil, nil, sim.Config{}, errf(CodeBadRequest, "open: %v", err)
+			return nil, nil, sim.Config{}, 0, errf(CodeBadRequest, "open: %v", err)
 		}
 		if p.Routing != "" && p.Routing != "adaptive sequential" {
-			return nil, nil, sim.Config{}, errf(CodeBadRequest,
+			return nil, nil, sim.Config{}, 0, errf(CodeBadRequest,
 				"open: foldedclos supports routing \"adaptive sequential\", not %q", p.Routing)
 		}
 		alg = routing.NewFoldedClosAdaptive(fc)
 		g = fc.Graph()
+		conc = p.K
 	case "hypercube":
 		h, err := topo.NewHypercube(p.N)
 		if err != nil {
-			return nil, nil, sim.Config{}, errf(CodeBadRequest, "open: %v", err)
+			return nil, nil, sim.Config{}, 0, errf(CodeBadRequest, "open: %v", err)
 		}
 		if p.Routing != "" && p.Routing != "e-cube" {
-			return nil, nil, sim.Config{}, errf(CodeBadRequest,
+			return nil, nil, sim.Config{}, 0, errf(CodeBadRequest,
 				"open: hypercube supports routing \"e-cube\", not %q", p.Routing)
 		}
 		alg = routing.NewECube(h)
 		g = h.Graph()
+		conc = 1
 	default:
-		return nil, nil, sim.Config{}, errf(CodeBadRequest, "open: unknown topology %q", p.Topology)
+		return nil, nil, sim.Config{}, 0, errf(CodeBadRequest, "open: unknown topology %q", p.Topology)
 	}
 	if maxNodes > 0 && g.NumNodes > maxNodes {
-		return nil, nil, sim.Config{}, errf(CodeBadRequest,
+		return nil, nil, sim.Config{}, 0, errf(CodeBadRequest,
 			"open: topology has %d terminals, above the server cap of %d", g.NumNodes, maxNodes)
 	}
 	cfg := sim.Config{
@@ -113,7 +124,35 @@ func buildNetwork(p OpenParams, maxNodes int) (*topo.Graph, sim.Algorithm, sim.C
 		BufPerPort: p.BufPerPort,
 		PacketSize: p.PacketSize,
 	}
-	return g, alg, cfg, nil
+	return g, alg, cfg, conc, nil
+}
+
+// buildWorkload materializes a session's background workload source
+// from normalized OpenParams: the registry pattern (group patterns use
+// the topology's concentration, hotspot/incast the params' hot set)
+// wrapped in either the default Bernoulli arrival process or, when
+// burst_peak is set, the two-state on/off process. A source carries no
+// identity in a snapshot beyond its name and mutable state, so a clone
+// rebuilds an identical one from the same params.
+func buildWorkload(p OpenParams, nodes, conc int) (traffic.Source, error) {
+	hot := make([]topo.NodeID, len(p.Hot))
+	for i, h := range p.Hot {
+		hot[i] = topo.NodeID(h)
+	}
+	pat, err := traffic.Build(p.Pattern, traffic.BuildCtx{
+		Nodes:         nodes,
+		Seed:          p.Seed,
+		Concentration: conc,
+		HotSet:        hot,
+		HotFraction:   p.HotFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if p.BurstPeak > 0 {
+		return traffic.NewOnOff(pat, p.BurstPeak, p.BurstLen)
+	}
+	return traffic.NewBernoulli(pat), nil
 }
 
 // pow returns k^n without overflow surprises for protocol-bounded

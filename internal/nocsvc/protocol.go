@@ -151,10 +151,27 @@ type OpenParams struct {
 	Load float64 `json:"load,omitempty"`
 	// Pattern names the background traffic's spatial pattern, validated
 	// against the internal/traffic registry: "uniform" (the default),
-	// "bitcomp", "transpose", "shuffle" or "randperm" (sweep-style short
-	// forms UR/BC/TP/SH/RP are accepted). Seeded patterns draw from the
-	// session's Seed.
+	// "bitcomp", "transpose", "shuffle", "randperm", "worstcase",
+	// "tornado", "hotspot" or "incast" (sweep-style short forms
+	// UR/BC/TP/SH/RP/WC/TOR/HS/IC are accepted). Seeded patterns draw
+	// from the session's Seed; group patterns use the topology's
+	// concentration.
 	Pattern string `json:"pattern,omitempty"`
+	// BurstPeak, when set, swaps the background arrival process from
+	// Bernoulli to the two-state on/off (MMPP) process: nodes alternate
+	// silent OFF periods with ON bursts injecting at BurstPeak flits per
+	// node per cycle, mixed so the long-run average rate equals Load
+	// (which must not exceed BurstPeak). 0 keeps Bernoulli arrivals.
+	BurstPeak float64 `json:"burst_peak,omitempty"`
+	// BurstLen is the mean ON-burst length in cycles when BurstPeak is
+	// set (default 16; must be >= 1).
+	BurstLen float64 `json:"burst_len,omitempty"`
+	// Hot lists the hot terminal IDs for the "hotspot" pattern (default
+	// {0}); "incast" sinks at the first entry.
+	Hot []int `json:"hot,omitempty"`
+	// HotFraction is the probability a hotspot packet targets the hot
+	// set (default 0.1).
+	HotFraction float64 `json:"hot_fraction,omitempty"`
 	// Warmup is how many cycles to advance the network at Load before the
 	// session serves its first estimate (default 1000; 0 uses the
 	// default, -1 disables warm-up).
@@ -368,6 +385,26 @@ func (p *OpenParams) validate() *Error {
 	if p.Pattern != "" && !traffic.Known(p.Pattern) {
 		return errf(CodeBadRequest, "open: unknown pattern %q (have %s)",
 			p.Pattern, strings.Join(traffic.Names(), ", "))
+	}
+	if p.BurstPeak < 0 || p.BurstPeak > 1 {
+		return errf(CodeBadRequest, "open: burst_peak %v out of [0,1]", p.BurstPeak)
+	}
+	if p.BurstLen != 0 && p.BurstLen < 1 {
+		return errf(CodeBadRequest, "open: burst_len %v must be >= 1", p.BurstLen)
+	}
+	if p.BurstLen != 0 && p.BurstPeak == 0 {
+		return errf(CodeBadRequest, "open: burst_len set without burst_peak")
+	}
+	if p.BurstPeak > 0 && p.Load > p.BurstPeak {
+		return errf(CodeBadRequest, "open: load %v above burst_peak %v", p.Load, p.BurstPeak)
+	}
+	for _, h := range p.Hot {
+		if h < 0 {
+			return errf(CodeBadRequest, "open: hot node %d must be >= 0", h)
+		}
+	}
+	if p.HotFraction < 0 || p.HotFraction > 1 {
+		return errf(CodeBadRequest, "open: hot_fraction %v out of [0,1]", p.HotFraction)
 	}
 	return nil
 }

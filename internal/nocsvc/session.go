@@ -8,7 +8,6 @@ import (
 
 	"flatnet/internal/sim"
 	"flatnet/internal/topo"
-	"flatnet/internal/traffic"
 )
 
 // SessionStats is one session's live detail, served by the stats verb.
@@ -106,7 +105,7 @@ func newSessionFromSnapshot(id string, p OpenParams, snap []byte, maxNodes, maxI
 // buildSession is the shared constructor: snap == nil builds cold and
 // warms; otherwise the network is restored from the snapshot bytes.
 func buildSession(id string, p OpenParams, snap []byte, maxNodes, maxInflight int, budget int64, defaultWorkers int) (*session, *Error) {
-	g, alg, cfg, perr := buildNetwork(p, maxNodes)
+	g, alg, cfg, conc, perr := buildNetwork(p, maxNodes)
 	if perr != nil {
 		return nil, perr
 	}
@@ -135,14 +134,18 @@ func buildSession(id string, p OpenParams, snap []byte, maxNodes, maxInflight in
 	} else {
 		workers = 1
 	}
-	// Patterns are stateless and not part of a snapshot; the clone
-	// re-derives the same one from the (normalized) params.
-	pat, err := traffic.Build(p.Pattern, g.NumNodes, p.Seed)
+	// A snapshot stashes only the workload's name and mutable state; the
+	// clone re-derives the source from the (normalized) params and
+	// SetSource re-applies the stashed state.
+	src, err := buildWorkload(p, g.NumNodes, conc)
 	if err != nil {
 		n.Close()
-		return nil, errf(CodeBadRequest, "open: pattern: %v", err)
+		return nil, errf(CodeBadRequest, "open: workload: %v", err)
 	}
-	n.SetPattern(pat)
+	if err := n.SetSource(src); err != nil {
+		n.Close()
+		return nil, errf(CodeInternal, "clone: workload: %v", err)
+	}
 	s := &session{
 		id:      id,
 		p:       p,
@@ -163,7 +166,10 @@ func buildSession(id string, p OpenParams, snap []byte, maxNodes, maxInflight in
 	}
 	s.touch()
 	if snap == nil {
-		s.warm()
+		if perr := s.warm(); perr != nil {
+			n.Close()
+			return nil, perr
+		}
 	}
 	s.info.WarmCycles = n.Cycle()
 	s.cycles.Store(n.Cycle())
@@ -261,22 +267,30 @@ func (s *session) checkpoint() ([]byte, *Error) {
 // warm advances the network through the session's warm-up window at the
 // background load, leaving queues in steady state before the first
 // estimate.
-func (s *session) warm() {
+func (s *session) warm() *Error {
 	start := time.Now()
 	for i := 0; i < s.p.Warmup; i++ {
-		s.advance()
+		if perr := s.advance(); perr != nil {
+			return perr
+		}
 	}
 	s.busyNS.Add(time.Since(start).Nanoseconds())
 	s.cycles.Store(s.net.Cycle())
+	return nil
 }
 
-// advance steps the network one cycle, with background Bernoulli
-// injection at the session's load.
-func (s *session) advance() {
+// advance steps the network one cycle, with background injection from
+// the session's workload source at its load. Generate cannot fail on a
+// well-formed session — the open validated load against the source —
+// so an error here is surfaced as internal.
+func (s *session) advance() *Error {
 	if s.p.Load > 0 {
-		s.net.GenerateBernoulli(s.p.Load)
+		if err := s.net.Generate(s.p.Load); err != nil {
+			return errf(CodeInternal, "advance: %v", err)
+		}
 	}
 	s.net.Step()
+	return nil
 }
 
 // handle executes one command's estimates in order. Items after a
@@ -322,7 +336,9 @@ func (s *session) estimate(e EstimateParams) (EstimateResult, *Error) {
 		if s.net.Cycle()&0x3ff == 0 && s.stopped() {
 			return EstimateResult{}, errf(CodeShutdown, "session %s shutting down", s.id)
 		}
-		s.advance()
+		if perr := s.advance(); perr != nil {
+			return EstimateResult{}, perr
+		}
 	}
 	return EstimateResult{Cycles: tr.Latency(), Hops: tr.Hops(), Packets: packets}, nil
 }

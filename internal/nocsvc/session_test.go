@@ -236,12 +236,12 @@ func TestBuildNetworkRejects(t *testing.T) {
 	p := testOpen()
 	p.K = 32
 	p.N = 3 // 32^3 = 32768 terminals
-	if _, _, _, perr := buildNetwork(p, 4096); perr == nil || perr.Code != CodeBadRequest {
+	if _, _, _, _, perr := buildNetwork(p, 4096); perr == nil || perr.Code != CodeBadRequest {
 		t.Fatalf("node cap not enforced: %v", perr)
 	}
 	p = testOpen()
 	p.Routing = "bogus"
-	if _, _, _, perr := buildNetwork(p, 0); perr == nil || perr.Code != CodeBadRequest {
+	if _, _, _, _, perr := buildNetwork(p, 0); perr == nil || perr.Code != CodeBadRequest {
 		t.Fatalf("bad routing accepted: %v", perr)
 	}
 }

@@ -7,25 +7,41 @@ import (
 	"flatnet/internal/traffic"
 )
 
+func mustOnOff(t *testing.T, pat traffic.Pattern, peak, avgBurst float64) *traffic.OnOff {
+	t.Helper()
+	src, err := traffic.NewOnOff(pat, peak, avgBurst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
 func TestOnOffValidation(t *testing.T) {
 	f := testFF(t, 4, 2)
+	u := traffic.NewUniform(16)
+	if _, err := traffic.NewOnOff(u, 0, 4); err == nil {
+		t.Error("peak 0 accepted")
+	}
+	if _, err := traffic.NewOnOff(u, 1.5, 4); err == nil {
+		t.Error("peak > 1 accepted")
+	}
+	if _, err := traffic.NewOnOff(u, 0.8, 0.5); err == nil {
+		t.Error("burst < 1 accepted")
+	}
 	n, err := New(f.Graph(), &minimalAlg{f}, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n.GenerateOnOff(0.5, 0, 4); err == nil {
-		t.Error("peak 0 accepted")
+	if err := n.Generate(0.5); err == nil {
+		t.Error("Generate with no source installed accepted")
 	}
-	if err := n.GenerateOnOff(0.5, 1.5, 4); err == nil {
-		t.Error("peak > 1 accepted")
+	if err := n.SetSource(mustOnOff(t, u, 0.5, 4)); err != nil {
+		t.Fatal(err)
 	}
-	if err := n.GenerateOnOff(0.9, 0.5, 4); err == nil {
+	if err := n.Generate(0.9); err == nil {
 		t.Error("load > peak accepted")
 	}
-	if err := n.GenerateOnOff(0.2, 0.8, 0.5); err == nil {
-		t.Error("burst < 1 accepted")
-	}
-	if err := n.GenerateOnOff(0.2, 0.8, 8); err != nil {
+	if err := n.Generate(0.2); err != nil {
 		t.Errorf("valid parameters rejected: %v", err)
 	}
 }
@@ -36,21 +52,20 @@ func TestOnOffAverageRate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n.SetPattern(traffic.NewUniform(16))
+	if err := n.SetSource(mustOnOff(t, traffic.NewUniform(16), 0.8, 10)); err != nil {
+		t.Fatal(err)
+	}
 	const cycles = 40000
 	const load = 0.2
 	for i := 0; i < cycles; i++ {
-		if err := n.GenerateOnOff(load, 0.8, 10); err != nil {
+		if err := n.Generate(load); err != nil {
 			t.Fatal(err)
 		}
 		n.Step()
 	}
-	// Run to drain so the generated count is reflected in deliveries.
-	injected, _ := n.Totals()
-	rate := float64(injected+n.Backlog()) / (cycles * 16)
 	// Generated = materialized + still backlogged; compare to target.
+	injected, _ := n.Totals()
 	genRate := (float64(injected) + float64(n.Backlog())) / (cycles * 16)
-	_ = rate
 	if math.Abs(genRate-load) > 0.02 {
 		t.Fatalf("on/off average rate = %.3f, want ~%.2f", genRate, load)
 	}
@@ -68,7 +83,15 @@ func TestOnOffBurstierThanBernoulli(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		n.SetPattern(traffic.NewWorstCase(f.K, f.NumRouters))
+		wc := traffic.NewWorstCase(f.K, f.NumRouters)
+		if bursty {
+			err = n.SetSource(mustOnOff(t, wc, 1.0, 25))
+		} else {
+			err = n.SetSource(traffic.NewBernoulli(wc))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
 		n.SetMeasurementWindow(1000, 4000)
 		var sum, count float64
 		n.OnDeliver(func(p *Packet, cycle int64) {
@@ -78,12 +101,8 @@ func TestOnOffBurstierThanBernoulli(t *testing.T) {
 			}
 		})
 		for i := 0; i < 6000; i++ {
-			if bursty {
-				if err := n.GenerateOnOff(0.06, 1.0, 25); err != nil {
-					t.Fatal(err)
-				}
-			} else {
-				n.GenerateBernoulli(0.06)
+			if err := n.Generate(0.06); err != nil {
+				t.Fatal(err)
 			}
 			n.Step()
 		}
@@ -118,10 +137,28 @@ func TestRunLoadPointWithBurst(t *testing.T) {
 	if by.AvgLatency < 1.5*bern.AvgLatency {
 		t.Fatalf("bursty run latency %.2f should exceed Bernoulli %.2f", by.AvgLatency, bern.AvgLatency)
 	}
+	// An explicit Source produces the identical run as the equivalent
+	// Burst shorthand.
+	srcRun := base
+	srcRun.Pattern = nil
+	srcRun.Source = mustOnOff(t, traffic.NewWorstCase(8, 8), 1.0, 25)
+	bySrc, err := RunLoadPoint(f.Graph(), &minimalAlg{f}, DefaultConfig(), srcRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bySrc != by {
+		t.Fatalf("Source run %+v differs from Burst run %+v", bySrc, by)
+	}
 	// Invalid burst parameters surface as errors.
 	bad := base
 	bad.Burst = &BurstConfig{Peak: 0.01, AvgBurst: 25} // peak < load
 	if _, err := RunLoadPoint(f.Graph(), &minimalAlg{f}, DefaultConfig(), bad); err == nil {
 		t.Error("peak below load accepted")
+	}
+	// Source and Burst are mutually exclusive.
+	both := burst
+	both.Source = srcRun.Source
+	if _, err := RunLoadPoint(f.Graph(), &minimalAlg{f}, DefaultConfig(), both); err == nil {
+		t.Error("Source together with Burst accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"flatnet/internal/rng"
 	"flatnet/internal/telemetry"
 	"flatnet/internal/topo"
+	"flatnet/internal/traffic"
 )
 
 // Config holds the router microarchitecture parameters of a simulation.
@@ -197,6 +198,14 @@ type Network struct {
 	stepAll bool
 
 	nextID int64
+
+	// wl is the installed workload source (arrival + destination
+	// process); wlErr defers a SetPattern install failure to the next
+	// Generate. pendingWl stashes a restored snapshot's workload state
+	// until SetSource installs the matching source.
+	wl        traffic.Source
+	wlErr     error
+	pendingWl *pendingWorkload
 
 	// Measurement state, managed by the run harnesses.
 	measStart, measEnd int64 // packets injected in [measStart, measEnd) are measured
@@ -560,7 +569,7 @@ func (sh *shard) injectSource(i int) bool {
 		if a.hasDst {
 			p.Dst = a.dst
 		} else {
-			p.Dst = s.draw()
+			p.Dst = n.wl.Dest(s.node, s.rng)
 		}
 		p.Phase = PhaseNew
 		p.InjectCycle = a.ts

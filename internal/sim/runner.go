@@ -32,16 +32,21 @@ type RunConfig struct {
 	// Load is the offered load in flits per node per cycle (fraction of
 	// capacity for unit-capacity networks).
 	Load float64
-	// Pattern generates destinations.
+	// Pattern generates destinations; it is wrapped in the default
+	// Bernoulli arrival process (or the on/off process when Burst is
+	// set). Ignored when Source is non-nil.
 	Pattern traffic.Pattern
+	// Source, when non-nil, is the full workload driving the run — both
+	// arrival and destination process. It takes precedence over Pattern
+	// and is mutually exclusive with Burst.
+	Source traffic.Source
 	// Warmup, Measure are window lengths in cycles.
 	Warmup, Measure int
 	// MaxCycles bounds the total simulation; if labeled packets have not
 	// drained by then the run reports Saturated. 0 picks a default.
 	MaxCycles int
 	// Burst, when non-nil, switches injection from Bernoulli to the
-	// on/off bursty process of Network.GenerateOnOff at the same average
-	// load.
+	// bursty on/off process (traffic.OnOff) at the same average load.
 	Burst *BurstConfig
 	// Stop, when non-nil, is polled every few hundred cycles; returning
 	// true aborts the run with an error wrapping ErrStopped. It is the
@@ -137,6 +142,24 @@ func RunLoadPoint(g *topo.Graph, alg Algorithm, cfg Config, rc RunConfig) (LoadP
 	if rc.Warmup <= 0 || rc.Measure <= 0 {
 		return LoadPointResult{}, fmt.Errorf("sim: warmup and measure windows must be positive")
 	}
+	src := rc.Source
+	if src != nil && rc.Burst != nil {
+		return LoadPointResult{}, fmt.Errorf("sim: RunConfig.Source and RunConfig.Burst are mutually exclusive")
+	}
+	if src == nil {
+		if rc.Pattern == nil {
+			return LoadPointResult{}, fmt.Errorf("sim: RunConfig needs a Pattern or a Source")
+		}
+		if rc.Burst != nil {
+			var err error
+			src, err = traffic.NewOnOff(rc.Pattern, rc.Burst.Peak, rc.Burst.AvgBurst)
+			if err != nil {
+				return LoadPointResult{}, err
+			}
+		} else {
+			src = traffic.NewBernoulli(rc.Pattern)
+		}
+	}
 	maxCycles := rc.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = 20 * (rc.Warmup + rc.Measure)
@@ -175,7 +198,9 @@ func RunLoadPoint(g *topo.Graph, alg Algorithm, cfg Config, rc RunConfig) (LoadP
 		lp.update(n)
 		Live.RunsFinished.Add(1)
 	}()
-	n.SetPattern(rc.Pattern)
+	if err := n.SetSource(src); err != nil {
+		return LoadPointResult{}, err
+	}
 	measStart := int64(rc.Warmup)
 	measEnd := int64(rc.Warmup + rc.Measure)
 	n.SetMeasurementWindow(measStart, measEnd)
@@ -195,12 +220,8 @@ func RunLoadPoint(g *topo.Graph, alg Algorithm, cfg Config, rc RunConfig) (LoadP
 
 	res := LoadPointResult{Load: rc.Load}
 	for {
-		if rc.Burst != nil {
-			if err := n.GenerateOnOff(rc.Load, rc.Burst.Peak, rc.Burst.AvgBurst); err != nil {
-				return LoadPointResult{}, err
-			}
-		} else {
-			n.GenerateBernoulli(rc.Load)
+		if err := n.Generate(rc.Load); err != nil {
+			return LoadPointResult{}, err
 		}
 		n.Step()
 		c := n.Cycle()
@@ -383,22 +404,4 @@ func RunBatch(g *topo.Graph, alg Algorithm, cfg Config, bc BatchConfig) (BatchRe
 		NormalizedLatency: float64(n.Cycle()) / float64(bc.BatchSize),
 	}
 	return res, nil
-}
-
-// RunBatchStop runs a batch experiment with a Stop hook.
-//
-// Deprecated: use RunBatch with BatchConfig.Stop.
-func RunBatchStop(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, batchSize, maxCycles int, stop func() bool) (BatchResult, error) {
-	return RunBatch(g, alg, cfg, BatchConfig{
-		Pattern: pattern, BatchSize: batchSize, MaxCycles: maxCycles, Stop: stop,
-	})
-}
-
-// RunBatchInstrumented runs a batch experiment with Stop and Attach hooks.
-//
-// Deprecated: use RunBatch with BatchConfig.Stop and BatchConfig.Attach.
-func RunBatchInstrumented(g *topo.Graph, alg Algorithm, cfg Config, pattern traffic.Pattern, batchSize, maxCycles int, stop func() bool, attach func(*Network)) (BatchResult, error) {
-	return RunBatch(g, alg, cfg, BatchConfig{
-		Pattern: pattern, BatchSize: batchSize, MaxCycles: maxCycles, Stop: stop, Attach: attach,
-	})
 }

@@ -269,10 +269,10 @@ func TestRunBatch(t *testing.T) {
 	}
 }
 
-// TestRunBatchDeprecatedWrappers pins the thin positional wrappers kept
-// for incremental migration: they must produce the same result as the
-// BatchConfig form and honor their hooks.
-func TestRunBatchDeprecatedWrappers(t *testing.T) {
+// TestRunBatchHooks pins RunBatch's hook semantics directly: Attach runs
+// on the fresh network before the first cycle without perturbing the
+// result, and Stop aborts the run.
+func TestRunBatchHooks(t *testing.T) {
 	f := testFF(t, 4, 2)
 	pat := traffic.NewUniform(f.NumNodes)
 	want, err := RunBatch(f.Graph(), &minimalAlg{f}, DefaultConfig(),
@@ -280,30 +280,24 @@ func TestRunBatchDeprecatedWrappers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := RunBatchStop(f.Graph(), &minimalAlg{f}, DefaultConfig(), pat, 4, 0, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got != want {
-		t.Fatalf("RunBatchStop diverged: %+v vs %+v", got, want)
-	}
 	attached := false
-	got, err = RunBatchInstrumented(f.Graph(), &minimalAlg{f}, DefaultConfig(), pat, 4, 0, nil,
-		func(n *Network) { attached = true })
+	got, err := RunBatch(f.Graph(), &minimalAlg{f}, DefaultConfig(),
+		BatchConfig{Pattern: pat, BatchSize: 4, Attach: func(n *Network) { attached = true }})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != want {
-		t.Fatalf("RunBatchInstrumented diverged: %+v vs %+v", got, want)
+		t.Fatalf("attached run diverged: %+v vs %+v", got, want)
 	}
 	if !attached {
-		t.Fatal("RunBatchInstrumented did not call the attach hook")
+		t.Fatal("RunBatch did not call the attach hook")
 	}
 	// Stop polling is throttled to every few hundred cycles, so a long
 	// batch is needed for the hook to be consulted at all.
 	stopped := 0
-	if _, err := RunBatchStop(f.Graph(), &minimalAlg{f}, DefaultConfig(), pat, 500, 0,
-		func() bool { stopped++; return true }); err == nil {
+	if _, err := RunBatch(f.Graph(), &minimalAlg{f}, DefaultConfig(),
+		BatchConfig{Pattern: pat, BatchSize: 500,
+			Stop: func() bool { stopped++; return true }}); err == nil {
 		t.Fatal("stop hook did not abort the run")
 	}
 	if stopped == 0 {

@@ -49,7 +49,18 @@ const (
 	secRouters
 	secSources
 	secEvents
+	secWorkload
 )
+
+// pendingWorkload holds a restored snapshot's workload-source state
+// until SetSource installs the matching source. A network carrying a
+// pending workload snapshots it back out verbatim, so restore-then-
+// snapshot round-trips byte-identically even before a source is
+// installed.
+type pendingWorkload struct {
+	name  string
+	state []byte
+}
 
 // graphDigest fingerprints a topology's full channel structure so a
 // snapshot can refuse restoration onto a different graph.
@@ -121,6 +132,22 @@ func (n *Network) Snapshot(w io.Writer) error {
 	}
 	if n.stepAll {
 		return fmt.Errorf("sim: cannot snapshot in stepAll debug mode")
+	}
+	// Serialise the workload source's arrival-process state up front: a
+	// source that cannot serialise makes the whole network refuse to
+	// snapshot, before any bytes are written.
+	var wlName string
+	var wlState []byte
+	wlHas := false
+	switch {
+	case n.wl != nil:
+		st, err := n.wl.State()
+		if err != nil {
+			return fmt.Errorf("sim: cannot snapshot: workload source %q refuses to serialise: %w", n.wl.Name(), err)
+		}
+		wlHas, wlName, wlState = true, n.wl.Name(), st
+	case n.pendingWl != nil:
+		wlHas, wlName, wlState = true, n.pendingWl.name, n.pendingWl.state
 	}
 
 	// Flatten every pending event (all shards' calendars, then staged
@@ -370,7 +397,6 @@ func (n *Network) Snapshot(w io.Writer) error {
 		for _, word := range st {
 			sw.U64(word)
 		}
-		sw.Bool(s.burstOn)
 		if s.cur != nil {
 			sw.Varint(int64(pktIdx[s.cur]))
 		} else {
@@ -404,6 +430,13 @@ func (n *Network) Snapshot(w io.Writer) error {
 		}
 	}
 
+	sw.Section(secWorkload)
+	sw.Bool(wlHas)
+	if wlHas {
+		sw.String(wlName)
+		sw.Bytes(wlState)
+	}
+
 	return sw.Close()
 }
 
@@ -415,9 +448,11 @@ func (n *Network) Snapshot(w io.Writer) error {
 // SetWorkers may still partition it, and stepping it forward produces
 // results bit-identical to stepping the original.
 //
-// Traffic patterns and hooks are not part of a snapshot; re-install
-// them (SetPattern, OnDeliver, ...) before stepping, as New's callers
-// do.
+// The workload source's configuration is not part of a snapshot — only
+// its mutable arrival-process state is. Re-install the source (or
+// pattern) and hooks before stepping, as New's callers do: SetSource
+// validates the source name against the snapshot and applies the
+// stashed state.
 func Restore(rd io.Reader, g *topo.Graph, alg Algorithm, cfg Config) (*Network, error) {
 	r, err := snapshot.NewReader(rd)
 	if err != nil {
@@ -625,7 +660,6 @@ func Restore(rd io.Reader, g *topo.Graph, alg Algorithm, cfg Config) (*Network, 
 			st[w] = r.U64()
 		}
 		s.rng.SetState(st)
-		s.burstOn = r.Bool()
 		s.cur = optPkt("mid-injection packet")
 		s.remaining = int(r.Varint())
 		if r.Err() == nil && (s.remaining < 0 || s.remaining > n.cfg.PacketSize) {
@@ -709,6 +743,17 @@ func Restore(rd io.Reader, g *topo.Graph, alg Algorithm, cfg Config) (*Network, 
 	if err != nil {
 		return nil, err
 	}
+
+	r.Section(secWorkload)
+	if r.Bool() {
+		name := r.String()
+		state := r.Bytes()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		n.pendingWl = &pendingWorkload{name: name, state: state}
+	}
+
 	if err := r.Finish(); err != nil {
 		return nil, err
 	}

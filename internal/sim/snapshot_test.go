@@ -174,9 +174,18 @@ func TestSnapshotWithTransfersAndBursts(t *testing.T) {
 	cfg := sim.DefaultConfig()
 	cfg.PacketSize = 2
 
+	burst := func(n *sim.Network) {
+		src, err := traffic.NewOnOff(traffic.NewUniform(n.NumNodes()), 0.8, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.SetSource(src); err != nil {
+			t.Fatal(err)
+		}
+	}
 	run := func(n *sim.Network, cycles int, out *[]delivery) {
 		for i := 0; i < cycles; i++ {
-			if err := n.GenerateOnOff(0.3, 0.8, 20); err != nil {
+			if err := n.Generate(0.3); err != nil {
 				t.Fatal(err)
 			}
 			n.Step()
@@ -188,7 +197,7 @@ func TestSnapshotWithTransfersAndBursts(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	a.SetPattern(traffic.NewUniform(a.NumNodes()))
+	burst(a)
 	var aTail []delivery
 	a.OnDeliver(recordInto(&aTail))
 	run(a, 100, &aTail)
@@ -218,7 +227,9 @@ func TestSnapshotWithTransfersAndBursts(t *testing.T) {
 	if b.PendingTransfers() == 0 && b.Backlog() == 0 {
 		t.Fatal("expected restored transfer packets in flight or backlogged")
 	}
-	b.SetPattern(traffic.NewUniform(b.NumNodes()))
+	// SetSource applies the snapshot's stashed per-node on/off state, so
+	// the clone resumes mid-burst exactly where a left off.
+	burst(b)
 	var bTail []delivery
 	b.OnDeliver(recordInto(&bTail))
 	run(b, 200, &bTail)

@@ -15,18 +15,13 @@ import (
 // this is statistically identical to drawing at arrival time and keeps
 // memory proportional to backlog length, not packet size.
 type source struct {
-	node    topo.NodeID
-	rng     *rng.Source
-	pattern traffic.Pattern
+	node topo.NodeID
+	rng  *rng.Source
 
 	// cur is the packet currently streaming its flits into the terminal
 	// input buffer; remaining counts its flits yet to inject.
 	cur       *Packet
 	remaining int
-
-	// burstOn is the on/off (two-state Markov) injection state used by
-	// GenerateOnOff.
-	burstOn bool
 
 	// backlog of pending arrivals, stored as a sliding window.
 	q    []arrival
@@ -81,15 +76,77 @@ func (s *source) pop() arrival {
 	return a
 }
 
-func (s *source) draw() topo.NodeID {
-	return s.pattern.Dest(s.node, s.rng)
+// SetSource installs the workload source that drives Generate's arrival
+// process and every destination draw. On a freshly restored network it
+// applies the snapshot's stashed workload state — the source names must
+// match, or the install fails rather than silently replaying the wrong
+// process. Otherwise the source is reset to its initial state, so a
+// Source shared across the networks of a load sweep stays deterministic.
+func (n *Network) SetSource(src traffic.Source) error {
+	if src == nil {
+		return fmt.Errorf("sim: nil workload source")
+	}
+	if pw := n.pendingWl; pw != nil {
+		if src.Name() != pw.name {
+			return fmt.Errorf("sim: snapshot carries workload state for source %q, cannot install %q",
+				pw.name, src.Name())
+		}
+		if err := src.SetState(pw.state); err != nil {
+			return fmt.Errorf("sim: restore workload state for %q: %w", pw.name, err)
+		}
+		n.pendingWl = nil
+	} else if err := src.SetState(nil); err != nil {
+		return fmt.Errorf("sim: reset workload state for %q: %w", src.Name(), err)
+	}
+	n.wl = src
+	n.wlErr = nil
+	return nil
 }
 
-// SetPattern installs the traffic pattern used to draw destinations.
+// Source returns the installed workload source, nil if none.
+func (n *Network) Source() traffic.Source { return n.wl }
+
+// SetPattern installs a destination pattern wrapped in the default
+// Bernoulli arrival process — the legacy entry point. An install error
+// (a restored snapshot carrying state for a different workload) is
+// deferred and surfaces at the next Generate call.
 func (n *Network) SetPattern(p traffic.Pattern) {
-	for i := range n.sources {
-		n.sources[i].pattern = p
+	if err := n.SetSource(traffic.NewBernoulli(p)); err != nil {
+		n.wlErr = err
 	}
+}
+
+// Generate performs one cycle's worth of arrivals from the installed
+// workload source: one Arrivals draw per node, in node-index order, on
+// the caller thread between Steps. load is the offered load in flits per
+// node per cycle. Call once per cycle before Step, or use the run
+// harnesses which do this for you.
+func (n *Network) Generate(load float64) error {
+	if n.wlErr != nil {
+		return n.wlErr
+	}
+	wl := n.wl
+	if wl == nil {
+		return fmt.Errorf("sim: no workload source installed (SetSource or SetPattern first)")
+	}
+	if v, ok := wl.(traffic.LoadValidator); ok {
+		if err := v.ValidateLoad(load); err != nil {
+			return err
+		}
+	}
+	c := n.cycle
+	ps := n.cfg.PacketSize
+	for i := range n.sources {
+		s := &n.sources[i]
+		for k := wl.Arrivals(s.node, load, ps, s.rng); k > 0; k-- {
+			s.pushTimestamp(c)
+			n.wakeSource(i)
+			if c >= n.measStart && c < n.measEnd {
+				n.measCreated++
+			}
+		}
+	}
+	return nil
 }
 
 // GenerateBernoulli performs one cycle's worth of Bernoulli packet
@@ -110,55 +167,6 @@ func (n *Network) GenerateBernoulli(load float64) {
 			}
 		}
 	}
-}
-
-// GenerateOnOff performs one cycle of bursty (two-state Markov modulated)
-// packet arrivals: each source alternates between an ON state, injecting
-// at peak flits per node per cycle, and a silent OFF state, such that the
-// long-run average offered load is load and the mean burst length is
-// avgBurst cycles. Bursty arrivals stress the transient load-balancing
-// behaviour that the paper's Fig. 5 batch experiments probe.
-func (n *Network) GenerateOnOff(load, peak, avgBurst float64) error {
-	if peak <= 0 || peak > 1 {
-		return fmt.Errorf("sim: peak rate %v out of (0,1]", peak)
-	}
-	if load < 0 || load > peak {
-		return fmt.Errorf("sim: load %v out of [0, peak=%v]", load, peak)
-	}
-	if avgBurst < 1 {
-		return fmt.Errorf("sim: average burst length %v must be >= 1 cycle", avgBurst)
-	}
-	pOn := load / peak // stationary probability of the ON state
-	exitOn := 1 / avgBurst
-	var enterOn float64
-	if pOn < 1 {
-		enterOn = exitOn * pOn / (1 - pOn)
-		if enterOn > 1 {
-			enterOn = 1
-		}
-	} else {
-		enterOn = 1
-	}
-	c := n.cycle
-	pkt := peak / float64(n.cfg.PacketSize)
-	for i := range n.sources {
-		s := &n.sources[i]
-		if s.burstOn {
-			if s.rng.Bernoulli(exitOn) {
-				s.burstOn = false
-			}
-		} else if s.rng.Bernoulli(enterOn) {
-			s.burstOn = true
-		}
-		if s.burstOn && s.rng.Bernoulli(pkt) {
-			s.pushTimestamp(c)
-			n.wakeSource(i)
-			if c >= n.measStart && c < n.measEnd {
-				n.measCreated++
-			}
-		}
-	}
-	return nil
 }
 
 // SeedBatch places batch arrivals (timestamped at the current cycle) into

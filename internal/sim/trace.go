@@ -10,11 +10,21 @@ import (
 )
 
 // TraceEntry is one packet arrival in a traffic trace: at Cycle, node Src
-// generates a packet for Dst.
+// generates Size packets for Dst (0 and 1 both mean one packet — the
+// text trace format and RecordTrace emit single-packet entries).
 type TraceEntry struct {
 	Cycle int64
 	Src   topo.NodeID
 	Dst   topo.NodeID
+	Size  int
+}
+
+// packets returns the entry's packet count.
+func (e TraceEntry) packets() int {
+	if e.Size < 1 {
+		return 1
+	}
+	return e.Size
 }
 
 // InjectAt schedules a single packet arrival at the given node with an
@@ -51,8 +61,10 @@ func (n *Network) LoadTrace(entries []TraceEntry) error {
 		return sorted[i].Src < sorted[j].Src
 	})
 	for _, e := range sorted {
-		if err := n.InjectAt(e.Src, e.Cycle, e.Dst); err != nil {
-			return err
+		for k := e.packets(); k > 0; k-- {
+			if err := n.InjectAt(e.Src, e.Cycle, e.Dst); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -106,7 +118,7 @@ func (n *Network) OnMaterialize(f func(p *Packet)) {
 }
 
 // RecordTrace installs an injection recorder: every packet arrival
-// generated after this call (by GenerateBernoulli, GenerateOnOff or
+// generated after this call (by Generate, GenerateBernoulli or
 // InjectAt) is appended to the returned slice pointer's target when it is
 // materialized into the network. It uses the OnMaterialize hook.
 //

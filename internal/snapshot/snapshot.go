@@ -32,13 +32,20 @@ const Magic = "FNETSNAP"
 // Version is the current format version. Readers reject snapshots
 // written by a different version: state layout is tied to the simulator
 // build, and silently misreading a stale checkpoint is worse than
-// asking the caller to regenerate it.
-const Version = 1
+// asking the caller to regenerate it. Version 2 added the workload
+// section (per-source arrival-process state) and dropped the per-source
+// burst bit.
+const Version = 2
 
 // maxStringLen bounds String allocations against hostile length
 // prefixes. Snapshot strings are short identifiers (algorithm names,
 // pattern names), never bulk data.
 const maxStringLen = 1 << 16
+
+// maxBytesLen bounds Bytes allocations. Byte blobs carry per-node
+// workload state (a few bytes per terminal), so 16 MiB covers networks
+// far beyond the simulator's practical scale.
+const maxBytesLen = 1 << 24
 
 // Writer serialises primitives to an underlying stream while
 // accumulating the CRC32 trailer. Errors are sticky; check Close.
@@ -111,6 +118,19 @@ func (w *Writer) String(s string) {
 	}
 	w.Uvarint(uint64(len(s)))
 	w.raw([]byte(s))
+}
+
+// Bytes writes a length-prefixed byte blob (workload state, where the
+// payload is opaque to the container).
+func (w *Writer) Bytes(b []byte) {
+	if len(b) > maxBytesLen {
+		if w.err == nil {
+			w.err = fmt.Errorf("snapshot: byte blob of %d bytes exceeds limit %d", len(b), maxBytesLen)
+		}
+		return
+	}
+	w.Uvarint(uint64(len(b)))
+	w.raw(b)
 }
 
 // Section writes a section tag marking the start of a logical group.
@@ -261,6 +281,28 @@ func (r *Reader) String() string {
 		return ""
 	}
 	return string(b)
+}
+
+// Bytes reads a length-prefixed byte blob, bounding the allocation.
+// A zero-length blob decodes as nil.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxBytesLen {
+		r.err = fmt.Errorf("snapshot: byte blob length %d exceeds limit %d", n, maxBytesLen)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	r.full(b)
+	if r.err != nil {
+		return nil
+	}
+	return b
 }
 
 // Section consumes a section tag and errors unless it matches want.

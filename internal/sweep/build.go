@@ -180,30 +180,30 @@ func (j Job) runAnalytic(res *Result) error {
 }
 
 // buildPattern constructs the job's traffic pattern for an n-node
-// network. Group patterns (WC, TOR) use Conc terminals per group.
+// network through the internal/traffic registry: group patterns (WC,
+// TOR) use Conc terminals per group, HS/IC consume Hot and HotFraction,
+// and an unknown name surfaces as a *traffic.UnknownPatternError.
 func (j Job) buildPattern(nodes int) (traffic.Pattern, error) {
-	switch j.Pattern {
-	case "UR":
-		return traffic.NewUniform(nodes), nil
-	case "WC", "TOR":
-		if j.Conc <= 0 || nodes%j.Conc != 0 {
-			return nil, fmt.Errorf("sweep: pattern %s needs a concentration dividing %d nodes, got %d", j.Pattern, nodes, j.Conc)
-		}
-		if j.Pattern == "WC" {
-			return traffic.NewWorstCase(j.Conc, nodes/j.Conc), nil
-		}
-		return traffic.NewTornado(j.Conc, nodes/j.Conc), nil
-	case "BC":
-		return traffic.NewBitComplement(nodes), nil
-	case "TP":
-		return traffic.NewTranspose(nodes)
-	case "SH":
-		return traffic.NewShuffle(nodes)
-	case "RP":
-		return traffic.NewRandPerm(nodes, j.Seed), nil
-	default:
-		return nil, fmt.Errorf("sweep: unknown traffic pattern %q", j.Pattern)
+	hot := make([]topo.NodeID, len(j.Hot))
+	for i, h := range j.Hot {
+		hot[i] = topo.NodeID(h)
 	}
+	return traffic.Build(j.Pattern, traffic.BuildCtx{
+		Nodes:         nodes,
+		Seed:          j.Seed,
+		Concentration: j.Conc,
+		HotSet:        hot,
+		HotFraction:   j.HotFraction,
+	})
+}
+
+// buildSource wraps the job's pattern in its arrival process: the
+// two-state on/off process when BurstPeak is set, Bernoulli otherwise.
+func (j Job) buildSource(pat traffic.Pattern) (traffic.Source, error) {
+	if j.BurstPeak > 0 {
+		return traffic.NewOnOff(pat, j.BurstPeak, j.BurstLen)
+	}
+	return traffic.NewBernoulli(pat), nil
 }
 
 // Run executes the job and returns its result. stop, when non-nil, is
@@ -268,10 +268,14 @@ func (j Job) run(stop func() bool, attach func(*sim.Network), resume io.Reader, 
 	if err != nil {
 		return res, err
 	}
+	var burst *sim.BurstConfig
+	if j.BurstPeak > 0 {
+		burst = &sim.BurstConfig{Peak: j.BurstPeak, AvgBurst: j.BurstLen}
+	}
 	switch j.Mode {
 	case ModeLoad:
 		rc := sim.RunConfig{
-			Load: j.Load, Pattern: pat,
+			Load: j.Load, Pattern: pat, Burst: burst,
 			Warmup: j.Warmup, Measure: j.Measure, MaxCycles: j.MaxCycles,
 			Stop: stop, Attach: attach, Workers: j.Workers,
 			Resume: resume, Checkpoint: checkpoint,
@@ -281,7 +285,7 @@ func (j Job) run(stop func() bool, attach func(*sim.Network), resume io.Reader, 
 		// Full offered load, no drain: the accepted rate over the
 		// measurement window is the figure of merit.
 		rc := sim.RunConfig{
-			Load: 1.0, Pattern: pat,
+			Load: 1.0, Pattern: pat, Burst: burst,
 			Warmup: j.Warmup, Measure: j.Measure,
 			MaxCycles: j.Warmup + j.Measure + 1,
 			Stop:      stop, Attach: attach, Workers: j.Workers,
@@ -292,6 +296,24 @@ func (j Job) run(stop func() bool, attach func(*sim.Network), resume io.Reader, 
 			Pattern: pat, BatchSize: j.BatchSize, MaxCycles: j.MaxCycles,
 			Stop: stop, Attach: attach, Workers: j.Workers,
 		})
+	case ModeCollective:
+		cc := sim.CollectiveConfig{
+			Kind: j.Collective, Packets: j.Chunk,
+			Warmup: j.Warmup, MaxCycles: int64(j.MaxCycles),
+			Stop: stop, Attach: attach, Workers: j.Workers,
+		}
+		if j.Load > 0 {
+			cc.Load = j.Load
+			cc.Source, err = j.buildSource(pat)
+			if err != nil {
+				return res, fmt.Errorf("sweep: job %s: %w", j.Hash()[:12], err)
+			}
+		}
+		var cr sim.CollectiveResult
+		cr, err = sim.RunCollective(g, alg, cfg, cc)
+		if err == nil {
+			res.Collective = &cr
+		}
 	default:
 		err = fmt.Errorf("sweep: unknown mode %q", j.Mode)
 	}

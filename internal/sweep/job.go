@@ -16,6 +16,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 
 	"flatnet/internal/analysis"
 	"flatnet/internal/sim"
@@ -35,6 +36,10 @@ const (
 	// latency model fills the load-point fields, so extreme-scale
 	// design-space sweeps run in milliseconds.
 	ModeAnalytic = "analytic"
+	// ModeCollective runs a collective schedule (Job.Collective:
+	// "alltoall" or "allreduce") to end-to-end completion, with the
+	// job's pattern as optional background traffic at Load.
+	ModeCollective = "collective"
 )
 
 // Job describes one independent simulation. The zero values of optional
@@ -75,11 +80,23 @@ type Job struct {
 	// (e.g. "MIN AD", "VAL", "UGAL", "UGAL-S", "CLOS AD" for flatfly).
 	Alg string `json:"alg"`
 	// Pattern names the traffic pattern: "UR", "WC", "BC", "TP", "SH",
-	// "TOR" or "RP".
+	// "TOR", "RP", "HS" or "IC" (the internal/traffic registry's long
+	// names are canonicalized to these short forms).
 	Pattern string `json:"pattern"`
 	// Conc is the group concentration for the WC and TOR patterns
 	// (0 means K).
 	Conc int `json:"conc,omitempty"`
+	// Hot lists the hot terminals for the HS pattern (empty means {0});
+	// IC sinks at the first entry. HotFraction is the excess traffic
+	// fraction directed at the hot set (0 means 0.1).
+	Hot         []int   `json:"hot,omitempty"`
+	HotFraction float64 `json:"hot_fraction,omitempty"`
+	// BurstPeak, when set, swaps the arrival process from Bernoulli to
+	// the two-state on/off (MMPP) process bursting at BurstPeak flits
+	// per node per cycle; BurstLen is the mean burst length in cycles
+	// (0 means 16). Load must not exceed BurstPeak.
+	BurstPeak float64 `json:"burst_peak,omitempty"`
+	BurstLen  float64 `json:"burst_len,omitempty"`
 
 	// Mode selects the measurement: ModeLoad (default), ModeSaturation
 	// or ModeBatch.
@@ -95,6 +112,11 @@ type Job struct {
 	MaxCycles int `json:"max_cycles,omitempty"`
 	// BatchSize is the per-node packet count for ModeBatch.
 	BatchSize int `json:"batch_size,omitempty"`
+	// Collective selects the ModeCollective schedule: "alltoall" or
+	// "allreduce". Chunk is the payload per phase transfer in packets
+	// (0 means 1).
+	Collective string `json:"collective,omitempty"`
+	Chunk      int    `json:"chunk,omitempty"`
 
 	// Seed drives every random stream of the job's simulation.
 	Seed uint64 `json:"seed"`
@@ -173,6 +195,21 @@ func (j Job) Normalize() Job {
 		j.Pattern = "TOR"
 	case "randperm":
 		j.Pattern = "RP"
+	case "hotspot":
+		j.Pattern = "HS"
+	case "incast":
+		j.Pattern = "IC"
+	}
+	if j.BurstPeak > 0 && j.BurstLen == 0 {
+		j.BurstLen = 16
+	}
+	if j.Mode == ModeCollective {
+		if j.Pattern == "" {
+			j.Pattern = "UR"
+		}
+		if j.Chunk == 0 {
+			j.Chunk = 1
+		}
 	}
 	return j
 }
@@ -199,6 +236,21 @@ func (j Job) canonical() string {
 	if n.Q != 0 || n.A != 0 || n.H != 0 || n.P != 0 {
 		s += fmt.Sprintf("|q=%d|a=%d|h=%d|p=%d", n.Q, n.A, n.H, n.P)
 	}
+	// The workload-engine fields are likewise appended only when set, so
+	// every pre-existing job's encoding (and cached hash) is unchanged.
+	if n.BurstPeak != 0 || n.BurstLen != 0 {
+		s += fmt.Sprintf("|bp=%.17g|bl=%.17g", n.BurstPeak, n.BurstLen)
+	}
+	if len(n.Hot) != 0 || n.HotFraction != 0 {
+		hot := make([]string, len(n.Hot))
+		for i, h := range n.Hot {
+			hot[i] = fmt.Sprintf("%d", h)
+		}
+		s += fmt.Sprintf("|hot=%s|hf=%.17g", strings.Join(hot, ","), n.HotFraction)
+	}
+	if n.Collective != "" || n.Chunk != 0 {
+		s += fmt.Sprintf("|coll=%s|chunk=%d", n.Collective, n.Chunk)
+	}
 	return s
 }
 
@@ -224,6 +276,9 @@ type Result struct {
 	// for simulated modes, so pre-existing pinned results are
 	// byte-identical).
 	Analytic *analysis.Metrics `json:"analytic,omitempty"`
+	// Collective holds the ModeCollective outcome (nil for other modes,
+	// so pre-existing pinned results are byte-identical).
+	Collective *sim.CollectiveResult `json:"collective,omitempty"`
 	// ElapsedSeconds is the wall-clock cost of the original simulation
 	// (preserved verbatim for cache hits).
 	ElapsedSeconds float64 `json:"elapsed_s"`

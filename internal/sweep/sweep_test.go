@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"flatnet/internal/sim"
+	"flatnet/internal/traffic"
 )
 
 // tinyJob is a fast (few-ms) flattened-butterfly load point used to keep
@@ -70,6 +71,12 @@ func TestJobHashInvalidation(t *testing.T) {
 		"Alg":            func(j *Job) { j.Alg = "VAL" },
 		"Pattern":        func(j *Job) { j.Pattern = "WC" },
 		"Conc":           func(j *Job) { j.Conc = 2 },
+		"Hot":            func(j *Job) { j.Hot = []int{1} },
+		"HotFraction":    func(j *Job) { j.HotFraction = 0.2 },
+		"BurstPeak":      func(j *Job) { j.BurstPeak = 0.9 },
+		"BurstLen":       func(j *Job) { j.BurstLen = 24 },
+		"Collective":     func(j *Job) { j.Collective = sim.CollectiveAllToAll },
+		"Chunk":          func(j *Job) { j.Chunk = 3 },
 		"Mode":           func(j *Job) { j.Mode = ModeSaturation },
 		"Load":           func(j *Job) { j.Load = 0.51 },
 		"Warmup":         func(j *Job) { j.Warmup = 101 },
@@ -110,6 +117,59 @@ func TestJobHashInvalidation(t *testing.T) {
 	// behavior fails this test.
 	if want := reflect.TypeOf(Job{}).NumField(); len(mutations)+len(unhashed) != want {
 		t.Errorf("mutation tables cover %d fields, Job has %d — extend the tables and the canonical encoding", len(mutations)+len(unhashed), want)
+	}
+}
+
+// TestWorkloadJobs exercises the registry-backed workload fields — a
+// bursty on/off job, a parameterized hotspot job, and a ModeCollective
+// job with bursty background traffic — and pins the collective result
+// bit-identical across worker counts.
+func TestWorkloadJobs(t *testing.T) {
+	burst := tinyJob("MIN AD", 0.3)
+	burst.BurstPeak, burst.BurstLen = 0.8, 12
+	if res, err := burst.Run(nil); err != nil {
+		t.Fatalf("bursty job: %v", err)
+	} else if res.Point.MeasuredDelivered == 0 {
+		t.Fatal("bursty job delivered nothing")
+	}
+
+	hot := tinyJob("MIN AD", 0.2)
+	hot.Pattern, hot.Hot, hot.HotFraction = "hotspot", []int{3, 5}, 0.3
+	res, err := hot.Run(nil)
+	if err != nil {
+		t.Fatalf("hotspot job: %v", err)
+	}
+	if res.Job.Pattern != "HS" {
+		t.Fatalf("hotspot did not canonicalize to HS, got %q", res.Job.Pattern)
+	}
+
+	coll := tinyJob("MIN AD", 0.1)
+	coll.Mode, coll.Collective, coll.Chunk = ModeCollective, sim.CollectiveAllToAll, 2
+	coll.BurstPeak = 0.8
+	seq, err := coll.RunChecked(nil)
+	if err != nil {
+		t.Fatalf("collective job: %v", err)
+	}
+	if seq.Collective == nil || seq.Collective.Phases != seq.Collective.Nodes-1 {
+		t.Fatalf("collective result malformed: %+v", seq.Collective)
+	}
+	par := coll
+	par.Workers = 4
+	pres, err := par.Run(nil)
+	if err != nil {
+		t.Fatalf("parallel collective job: %v", err)
+	}
+	if !reflect.DeepEqual(seq.Collective, pres.Collective) {
+		t.Errorf("collective diverged across workers:\nseq %+v\npar %+v", seq.Collective, pres.Collective)
+	}
+
+	bad := tinyJob("MIN AD", 0.5)
+	bad.Pattern = "no-such-pattern"
+	var uerr *traffic.UnknownPatternError
+	if _, err := bad.Run(nil); !errors.As(err, &uerr) {
+		t.Fatalf("want UnknownPatternError, got %v", err)
+	} else if len(uerr.Known) == 0 {
+		t.Fatal("UnknownPatternError lists no known patterns")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"flatnet/internal/sim"
@@ -29,6 +30,16 @@ func (j Job) WarmKey() string {
 		n.AgeArbiter, n.RouterDelay)
 	if n.Q != 0 || n.A != 0 || n.H != 0 || n.P != 0 {
 		s += fmt.Sprintf("|q=%d|a=%d|h=%d|p=%d", n.Q, n.A, n.H, n.P)
+	}
+	if n.BurstPeak != 0 || n.BurstLen != 0 {
+		s += fmt.Sprintf("|bp=%.17g|bl=%.17g", n.BurstPeak, n.BurstLen)
+	}
+	if len(n.Hot) != 0 || n.HotFraction != 0 {
+		hot := make([]string, len(n.Hot))
+		for i, h := range n.Hot {
+			hot[i] = fmt.Sprintf("%d", h)
+		}
+		s += fmt.Sprintf("|hot=%s|hf=%.17g", strings.Join(hot, ","), n.HotFraction)
 	}
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:])

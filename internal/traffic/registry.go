@@ -3,28 +3,117 @@ package traffic
 import (
 	"fmt"
 	"sort"
+	"strings"
+
+	"flatnet/internal/topo"
 )
 
-// The registry names every pattern constructible from (nodes, seed)
-// alone — the set a service endpoint can safely offer to remote
-// callers. Group patterns (worstcase, tornado) need a concentration and
-// hotspot needs a hot-node set, so they are deliberately absent; callers
-// with that context construct them directly.
-var registry = map[string]func(nodes int, seed uint64) (Pattern, error){
-	"uniform":   func(n int, _ uint64) (Pattern, error) { return NewUniform(n), nil },
-	"bitcomp":   func(n int, _ uint64) (Pattern, error) { return NewBitComplement(n), nil },
-	"transpose": func(n int, _ uint64) (Pattern, error) { return NewTranspose(n) },
-	"shuffle":   func(n int, _ uint64) (Pattern, error) { return NewShuffle(n) },
-	"randperm":  func(n int, seed uint64) (Pattern, error) { return NewRandPerm(n, seed), nil },
+// BuildCtx carries everything a registered pattern constructor may need.
+// Nodes is always required; the remaining fields have workable defaults
+// so every registry name is constructible from (Nodes, Seed) alone — the
+// set a service endpoint can safely offer to remote callers. Group
+// patterns (worstcase, tornado) consume Concentration, hotspot/incast
+// consume HotSet and HotFraction.
+type BuildCtx struct {
+	Nodes int
+	Seed  uint64
+
+	// Concentration is the number of consecutive nodes per router group
+	// for the group patterns (worstcase, tornado). 0 means 1 node per
+	// group; otherwise it must divide Nodes.
+	Concentration int
+
+	// HotSet is the hot-node set for hotspot (and the sink, first
+	// element, for incast). Empty defaults to {0}.
+	HotSet []topo.NodeID
+
+	// HotFraction is the probability a hotspot packet targets a hot node.
+	// 0 defaults to 0.1, the classic memory-controller contention level.
+	HotFraction float64
+}
+
+// UnknownPatternError is returned by Build (and surfaced by every
+// pattern-name lookup in the CLIs and services) when a name is not in
+// the registry. Known lists the canonical names a caller may use.
+type UnknownPatternError struct {
+	Name  string
+	Known []string
+}
+
+// Error implements error.
+func (e *UnknownPatternError) Error() string {
+	return fmt.Sprintf("traffic: unknown pattern %q (have %s)", e.Name, strings.Join(e.Known, ", "))
+}
+
+// groupCtx resolves the group shape for worstcase/tornado.
+func groupCtx(ctx BuildCtx, what string) (conc, groups int, err error) {
+	conc = ctx.Concentration
+	if conc <= 0 {
+		conc = 1
+	}
+	if ctx.Nodes%conc != 0 {
+		return 0, 0, fmt.Errorf("traffic: %s concentration %d does not divide %d nodes", what, conc, ctx.Nodes)
+	}
+	return conc, ctx.Nodes / conc, nil
+}
+
+// hotCtx resolves the hot set and skew for hotspot/incast.
+func hotCtx(ctx BuildCtx) ([]topo.NodeID, float64) {
+	hot := ctx.HotSet
+	if len(hot) == 0 {
+		hot = []topo.NodeID{0}
+	}
+	frac := ctx.HotFraction
+	if frac == 0 {
+		frac = 0.1
+	}
+	return hot, frac
+}
+
+// The registry names every buildable pattern. Constructors take the
+// full BuildCtx; size constraints (shuffle's power-of-two, group
+// divisibility) surface as errors at build time.
+var registry = map[string]func(ctx BuildCtx) (Pattern, error){
+	"uniform":   func(ctx BuildCtx) (Pattern, error) { return NewUniform(ctx.Nodes), nil },
+	"bitcomp":   func(ctx BuildCtx) (Pattern, error) { return NewBitComplement(ctx.Nodes), nil },
+	"transpose": func(ctx BuildCtx) (Pattern, error) { return NewTranspose(ctx.Nodes) },
+	"shuffle":   func(ctx BuildCtx) (Pattern, error) { return NewShuffle(ctx.Nodes) },
+	"randperm":  func(ctx BuildCtx) (Pattern, error) { return NewRandPerm(ctx.Nodes, ctx.Seed), nil },
+	"worstcase": func(ctx BuildCtx) (Pattern, error) {
+		conc, groups, err := groupCtx(ctx, "worstcase")
+		if err != nil {
+			return nil, err
+		}
+		return NewWorstCase(conc, groups), nil
+	},
+	"tornado": func(ctx BuildCtx) (Pattern, error) {
+		conc, groups, err := groupCtx(ctx, "tornado")
+		if err != nil {
+			return nil, err
+		}
+		return NewTornado(conc, groups), nil
+	},
+	"hotspot": func(ctx BuildCtx) (Pattern, error) {
+		hot, frac := hotCtx(ctx)
+		return NewHotspot(ctx.Nodes, hot, frac)
+	},
+	"incast": func(ctx BuildCtx) (Pattern, error) {
+		hot, _ := hotCtx(ctx)
+		return NewIncast(ctx.Nodes, hot[0])
+	},
 }
 
 // aliases maps the sweep-vocabulary short forms onto registry names.
 var aliases = map[string]string{
-	"UR": "uniform",
-	"BC": "bitcomp",
-	"TP": "transpose",
-	"SH": "shuffle",
-	"RP": "randperm",
+	"UR":  "uniform",
+	"BC":  "bitcomp",
+	"TP":  "transpose",
+	"SH":  "shuffle",
+	"RP":  "randperm",
+	"WC":  "worstcase",
+	"TOR": "tornado",
+	"HS":  "hotspot",
+	"IC":  "incast",
 }
 
 // Canonical resolves a pattern name or alias to its registry name,
@@ -53,14 +142,33 @@ func Names() []string {
 	return out
 }
 
+// Aliases returns a copy of the short-form alias table, alias to
+// canonical name (the sweep vocabulary: UR, WC, HS, ...).
+func Aliases() map[string]string {
+	out := make(map[string]string, len(aliases))
+	for a, n := range aliases {
+		out[a] = n
+	}
+	return out
+}
+
 // Build constructs a registered pattern (by canonical name or alias)
-// for an n-node network. seed only matters to seeded patterns
-// (randperm); size constraints (e.g. shuffle's power-of-two) surface as
-// errors here.
-func Build(name string, nodes int, seed uint64) (Pattern, error) {
+// from the given context. Unknown names return an *UnknownPatternError.
+func Build(name string, ctx BuildCtx) (Pattern, error) {
 	canon, ok := Canonical(name)
 	if !ok {
-		return nil, fmt.Errorf("traffic: unknown pattern %q (have %v)", name, Names())
+		return nil, &UnknownPatternError{Name: name, Known: Names()}
 	}
-	return registry[canon](nodes, seed)
+	return registry[canon](ctx)
+}
+
+// BuildSource constructs a registered pattern wrapped in the default
+// Bernoulli arrival process — the one-call path for callers that speak
+// pattern names but want a full workload Source.
+func BuildSource(name string, ctx BuildCtx) (Source, error) {
+	pat, err := Build(name, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return NewBernoulli(pat), nil
 }

@@ -1,7 +1,9 @@
 package traffic
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"flatnet/internal/rng"
@@ -21,8 +23,12 @@ func TestRegistryCanonical(t *testing.T) {
 		{"SH", "shuffle", true},
 		{"RP", "randperm", true},
 		{"randperm", "randperm", true},
+		{"WC", "worstcase", true},
+		{"worstcase", "worstcase", true},
+		{"TOR", "tornado", true},
+		{"HS", "hotspot", true},
+		{"IC", "incast", true},
 		{"nope", "nope", false},
-		{"WC", "WC", false}, // needs a concentration: not registered
 		{"", "", false},
 	}
 	for _, c := range cases {
@@ -37,17 +43,19 @@ func TestRegistryCanonical(t *testing.T) {
 }
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"bitcomp", "randperm", "shuffle", "transpose", "uniform"}
+	want := []string{"bitcomp", "hotspot", "incast", "randperm", "shuffle",
+		"tornado", "transpose", "uniform", "worstcase"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
 }
 
 func TestRegistryBuild(t *testing.T) {
+	ctx := BuildCtx{Nodes: 16, Seed: 7, Concentration: 4}
 	for _, name := range Names() {
-		p, err := Build(name, 16, 7)
+		p, err := Build(name, ctx)
 		if err != nil {
-			t.Fatalf("Build(%q, 16, 7): %v", name, err)
+			t.Fatalf("Build(%q, %+v): %v", name, ctx, err)
 		}
 		r := rng.New(1)
 		for src := 0; src < 16; src++ {
@@ -58,18 +66,65 @@ func TestRegistryBuild(t *testing.T) {
 		}
 	}
 	// Seeded patterns derive from the seed deterministically.
-	a, _ := Build("RP", 16, 42)
-	b, _ := Build("randperm", 16, 42)
+	a, _ := Build("RP", BuildCtx{Nodes: 16, Seed: 42})
+	b, _ := Build("randperm", BuildCtx{Nodes: 16, Seed: 42})
 	for src := 0; src < 16; src++ {
 		if a.Dest(topo.NodeID(src), nil) != b.Dest(topo.NodeID(src), nil) {
 			t.Fatalf("randperm not seed-deterministic at src %d", src)
 		}
 	}
 	// Size constraints surface as errors, not panics.
-	if _, err := Build("shuffle", 12, 1); err == nil {
+	if _, err := Build("shuffle", BuildCtx{Nodes: 12}); err == nil {
 		t.Fatal("shuffle accepted a non-power-of-two size")
 	}
-	if _, err := Build("bogus", 16, 1); err == nil {
-		t.Fatal("unknown name accepted")
+	if _, err := Build("worstcase", BuildCtx{Nodes: 16, Concentration: 3}); err == nil {
+		t.Fatal("worstcase accepted a non-dividing concentration")
+	}
+	// Unknown names produce the structured error listing the registry.
+	_, err := Build("bogus", BuildCtx{Nodes: 16})
+	var upe *UnknownPatternError
+	if !errors.As(err, &upe) {
+		t.Fatalf("Build(bogus) error = %v, want *UnknownPatternError", err)
+	}
+	if upe.Name != "bogus" || !reflect.DeepEqual(upe.Known, Names()) {
+		t.Fatalf("UnknownPatternError = %+v", upe)
+	}
+	if !strings.Contains(upe.Error(), "uniform") {
+		t.Fatalf("error text %q does not list known patterns", upe.Error())
+	}
+}
+
+func TestRegistryGroupAndHotDefaults(t *testing.T) {
+	// Group patterns default to one node per group.
+	p, err := Build("tornado", BuildCtx{Nodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor := p.(*Tornado)
+	if tor.Concentration != 1 || tor.Groups != 8 {
+		t.Fatalf("tornado defaults = %+v, want conc 1, groups 8", tor)
+	}
+	// Hotspot defaults to hot set {0} at fraction 0.1.
+	p, err = Build("hotspot", BuildCtx{Nodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := p.(*Hotspot)
+	if len(hs.Hot) != 1 || hs.Hot[0] != 0 || hs.Fraction != 0.1 {
+		t.Fatalf("hotspot defaults = %+v, want hot {0}, fraction 0.1", hs)
+	}
+	// Incast sends everything to the first hot node.
+	p, err = Build("incast", BuildCtx{Nodes: 8, HotSet: []topo.NodeID{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "incast" {
+		t.Fatalf("incast name = %q", p.Name())
+	}
+	r := rng.New(3)
+	for src := 0; src < 8; src++ {
+		if d := p.Dest(topo.NodeID(src), r); d != 5 {
+			t.Fatalf("incast Dest(%d) = %d, want 5", src, d)
+		}
 	}
 }

@@ -176,6 +176,7 @@ type Hotspot struct {
 	Hot      []topo.NodeID
 	Fraction float64 // probability a packet targets a hot node
 	uniform  *Uniform
+	label    string // overrides the reported name (incast)
 }
 
 // NewHotspot builds a hotspot pattern over n nodes. fraction of packets
@@ -196,8 +197,27 @@ func NewHotspot(n int, hot []topo.NodeID, fraction float64) (*Hotspot, error) {
 		uniform: NewUniform(n)}, nil
 }
 
+// NewIncast builds the many-to-one degenerate case of Hotspot: every
+// packet from every node targets the single sink node. Incast is the
+// classic storage/parameter-server fan-in workload; the sink's terminal
+// ejection channel is the only bottleneck, so throughput per node caps
+// at 1/N regardless of topology.
+func NewIncast(n int, sink topo.NodeID) (*Hotspot, error) {
+	h, err := NewHotspot(n, []topo.NodeID{sink}, 1)
+	if err != nil {
+		return nil, err
+	}
+	h.label = "incast"
+	return h, nil
+}
+
 // Name implements Pattern.
-func (h *Hotspot) Name() string { return "hotspot" }
+func (h *Hotspot) Name() string {
+	if h.label != "" {
+		return h.label
+	}
+	return "hotspot"
+}
 
 // Dest implements Pattern.
 func (h *Hotspot) Dest(src topo.NodeID, r *rng.Source) topo.NodeID {

@@ -20,10 +20,19 @@ func WithLoad(load float64) Option {
 	return func(o *runOptions) { o.rc.Load = load; o.loadSet = true }
 }
 
-// WithPattern sets the traffic pattern. Default: uniform random over the
+// WithPattern sets the traffic pattern, injected under the default
+// Bernoulli arrival process. Default: uniform random over the
 // topology's terminals.
 func WithPattern(p Pattern) Option {
 	return func(o *runOptions) { o.rc.Pattern = p }
+}
+
+// WithSource installs a full workload source — arrival process and
+// destination process together (NewOnOffSource, BuildWorkload, or any
+// Source implementation). It takes precedence over WithPattern and is
+// mutually exclusive with WithBurst.
+func WithSource(src Source) Option {
+	return func(o *runOptions) { o.rc.Source = src }
 }
 
 // WithWarmup sets the warm-up window in cycles. Default 1000.
@@ -134,7 +143,7 @@ func Run(t Topology, alg Algorithm, opts ...Option) (LoadPointResult, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if o.rc.Pattern == nil {
+	if o.rc.Pattern == nil && o.rc.Source == nil {
 		o.rc.Pattern = NewUniform(g.NumNodes)
 	}
 	if o.check != nil {
